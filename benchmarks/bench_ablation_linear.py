@@ -1,0 +1,47 @@
+"""Section VIII: the planned ablation — dsort with multiple pipelines vs
+dsort restricted to single, linear pipelines on each node.
+
+The paper poses this as an open question ("we have not investigated this
+issue yet").  Our model's answer: with balanced inputs and eager message
+buffering the linear restriction costs only a couple of percent, but on
+inputs that skew the communication (sorted keys = a moving hot receiver)
+the single pipeline stalls and the gap widens — and the linear variant
+needs the "extensive bookkeeping" (overflow hoards, drain buffers,
+non-blocking probes) the paper predicted.  See EXPERIMENTS.md.
+"""
+
+from conftest import save_result
+
+from repro.bench import render_table
+from repro.bench.harness import run_sort
+from repro.pdm.records import RecordSchema
+
+
+def test_multi_vs_linear_pipelines(once):
+    def experiment():
+        schema = RecordSchema.paper_16()
+        out = {}
+        for dist in ("uniform", "sorted"):
+            out[dist] = {
+                "multi": run_sort("dsort", dist, schema),
+                "linear": run_sort("dsort-linear", dist, schema),
+            }
+        return out
+
+    results = once(experiment)
+    rows = []
+    for dist, pair in results.items():
+        ratio = pair["linear"].total_time / pair["multi"].total_time
+        rows.append([dist, pair["multi"].total_time,
+                     pair["linear"].total_time, ratio])
+    save_result("ablation_linear",
+                "dsort pipeline-structure ablation (linear/multi ratio)\n"
+                + render_table(["distribution", "multi total",
+                                "linear total", "linear/multi"], rows))
+    for dist, pair in results.items():
+        assert pair["multi"].verified and pair["linear"].verified
+        # multiple pipelines never lose...
+        assert pair["linear"].total_time >= pair["multi"].total_time, dist
+    # ...and win clearly once communication skews
+    skewed = results["sorted"]
+    assert skewed["linear"].total_time > 1.03 * skewed["multi"].total_time

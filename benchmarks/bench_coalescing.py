@@ -1,0 +1,45 @@
+"""Section III: why csort is three passes, not four.
+
+"The key observation is that ... the communicate, permute, and write
+stages of the third pass, together with the read stage of the fourth
+pass, just shift each column down by the height of half a column.  By
+replacing these four stages by a single communicate stage, we can
+eliminate one pass."  Measure exactly that saving, and where the programs
+land relative to dsort's two passes.
+"""
+
+import pytest
+from conftest import save_result
+
+from repro.bench import render_table
+from repro.bench.harness import run_sort
+from repro.pdm.records import RecordSchema
+
+
+def test_pass_coalescing_ladder(once):
+    def experiment():
+        schema = RecordSchema.paper_16()
+        return {name: run_sort(name, "uniform", schema)
+                for name in ("dsort", "csort", "csort4")}
+
+    results = once(experiment)
+    rows = []
+    for name in ("dsort", "csort", "csort4"):
+        run = results[name]
+        passes = len([p for p in run.phase_times if p.startswith("pass")])
+        rows.append([name, passes, run.total_time,
+                     run.bytes_io / run.total_bytes])
+    save_result("coalescing",
+                "the pass-count ladder: dsort(2) < csort(3) < csort4(4)\n"
+                + render_table(["program", "data passes", "total (s)",
+                                "disk bytes / data volume"], rows))
+    dsort, csort, csort4 = (results[n] for n in ("dsort", "csort",
+                                                 "csort4"))
+    assert dsort.total_time < csort.total_time < csort4.total_time
+    # I/O volumes are exact: 4x, 6x (+sampling noise), 8x
+    assert csort.bytes_io / csort.total_bytes == \
+        pytest.approx(6.0, rel=0.01)
+    assert csort4.bytes_io / csort4.total_bytes == \
+        pytest.approx(8.0, rel=0.01)
+    assert dsort.bytes_io / dsort.total_bytes == \
+        pytest.approx(4.0, rel=0.15)

@@ -1,0 +1,23 @@
+"""Figure 8(b): dsort vs csort, 64-byte records, four distributions.
+
+Same byte volume as Figure 8(a) (the paper holds 64 GB constant and
+varies the record size), so per-node record counts are a quarter of the
+16-byte run's.
+"""
+
+from conftest import save_result
+
+from repro.bench import figure8_experiment, render_figure8
+
+
+def test_figure8b_64_byte_records(once):
+    results = once(figure8_experiment, 64)
+    save_result("figure8b", render_figure8(results, 64))
+    for dist, pair in results.items():
+        dsort, csort = pair["dsort"], pair["csort"]
+        assert dsort.verified and csort.verified
+        ratio = dsort.total_time / csort.total_time
+        assert ratio < 1.0, f"dsort must beat csort on {dist}"
+        assert 0.60 <= ratio <= 0.95, (
+            f"{dist}: ratio {ratio:.3f} outside the paper's band")
+        assert dsort.partition_imbalance <= 1.10

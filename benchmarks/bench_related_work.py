@@ -1,0 +1,50 @@
+"""Section VII related work: dsort vs a NOW-Sort-style two-pass sort.
+
+NOW-Sort assumes splitters are known in advance and skips PDM striping
+(paper, Section VII).  The comparison quantifies what dsort pays for its
+generality — and what NOW-Sort pays for its assumptions when the keys are
+not uniform: with fixed splitters, skewed inputs pile onto a few nodes and
+the hottest disk sets the pace.
+"""
+
+from conftest import save_result
+
+from repro.bench import render_table
+from repro.bench.harness import run_sort
+from repro.pdm.records import RecordSchema
+
+
+def test_dsort_vs_nowsort(once):
+    def experiment():
+        schema = RecordSchema.paper_16()
+        out = {}
+        for dist in ("uniform", "std_normal"):
+            out[dist] = {
+                "dsort": run_sort("dsort", dist, schema),
+                "nowsort": run_sort("nowsort", dist, schema),
+            }
+        return out
+
+    results = once(experiment)
+    rows = []
+    for dist, pair in results.items():
+        for name in ("dsort", "nowsort"):
+            run = pair[name]
+            rows.append([dist, name, run.total_time,
+                         run.partition_imbalance])
+    save_result("related_work_nowsort",
+                "dsort vs NOW-Sort-style (fixed splitters, no striping)\n"
+                + render_table(["distribution", "program", "total",
+                                "partition max/avg"], rows))
+    uniform = results["uniform"]
+    skewed = results["std_normal"]
+    # on its home turf (uniform keys), the simpler program wins a little:
+    # no sampling phase, no striping exchange
+    assert uniform["nowsort"].total_time < uniform["dsort"].total_time
+    # off it, fixed splitters produce gross imbalance while sampling
+    # keeps dsort tight...
+    assert skewed["nowsort"].partition_imbalance > 1.5
+    assert skewed["dsort"].partition_imbalance < 1.1
+    # ...and the hottest node slows the skewed nowsort run down
+    assert (skewed["nowsort"].total_time
+            > 1.2 * uniform["nowsort"].total_time)

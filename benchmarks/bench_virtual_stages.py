@@ -1,0 +1,22 @@
+"""Figure 5(b): virtual stages collapse k pipelines' thread cost to O(1).
+
+"Most current systems cannot handle hundreds of threads" — with virtual
+stages, FG creates one thread for the stage group and auto-virtualizes
+the sources and sinks, so 256 sorted runs cost 3 threads, not 768.
+"""
+
+from conftest import save_result
+
+from repro.bench import render_table, virtual_stage_experiment
+
+
+def test_virtual_stage_thread_counts(once):
+    results = once(virtual_stage_experiment, (4, 32, 256))
+    rows = [[k, counts["plain"], counts["virtual"]]
+            for k, counts in sorted(results.items())]
+    save_result("virtual_stages", "threads for k single-stage pipelines\n"
+                + render_table(["k", "plain threads", "virtual threads"],
+                               rows))
+    for k, counts in results.items():
+        assert counts["plain"] == 3 * k      # source + stage + sink per k
+        assert counts["virtual"] == 3        # one group of each, any k

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper (see DESIGN.md's
+experiment index), asserts the *shape* of the paper's result (who wins, by
+roughly what factor), and writes the regenerated rows to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+
+The quantity of interest is the SIMULATED time inside each experiment;
+pytest-benchmark's wall-clock measurement is kept (rounds=1) so the suite
+doubles as a tracker of simulation cost.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner

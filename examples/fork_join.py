@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Fork-join pipelines: route work through parallel branches.
+
+A trunk pipeline reads blocks; a fork stage routes each block by content
+to one of two branches — a cheap passthrough for already-sorted blocks and
+an expensive sort for the rest — and a join stage restores the original
+order before the post pipeline writes.  The branches run concurrently, so
+the expensive one does not stall the cheap one.
+
+Run:  python examples/fork_join.py
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster, HardwareModel
+from repro.core import FGProgram, Stage, add_fork_join
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+
+SCHEMA = RecordSchema.paper_16()
+N_BLOCKS = 16
+BLOCK_RECORDS = 4096
+
+
+def main() -> None:
+    cluster = Cluster(n_nodes=1,
+                      hardware=HardwareModel.scaled_paper_cluster())
+    node = cluster.node(0)
+    rng = np.random.default_rng(5)
+    rf_in = RecordFile(node.disk, "in", SCHEMA)
+    rf_out = RecordFile(node.disk, "out", SCHEMA)
+
+    # half the blocks are pre-sorted, half are random
+    blocks = []
+    for b in range(N_BLOCKS):
+        keys = rng.integers(0, 2**63, size=BLOCK_RECORDS, dtype=np.uint64)
+        if b % 2 == 0:
+            keys = np.sort(keys)
+        blocks.append(keys)
+        rf_in.poke(b * BLOCK_RECORDS, SCHEMA.from_keys(keys))
+
+    stats = {"sorted": 0, "unsorted": 0}
+
+    def node_main(node, comm):
+        prog = FGProgram(node.kernel, env={"node": node}, name="fj-demo")
+
+        def read(ctx, buf):
+            buf.put(rf_in.read(buf.round * BLOCK_RECORDS, BLOCK_RECORDS))
+            buf.tags["block"] = buf.round
+            return buf
+
+        def passthrough(ctx, buf):
+            stats["sorted"] += 1
+            return buf
+
+        def sort_block(ctx, buf):
+            stats["unsorted"] += 1
+            records = buf.view(SCHEMA.dtype)
+            node.compute_sort(len(records))
+            buf.put(SCHEMA.sort(records))
+            return buf
+
+        def write(ctx, buf):
+            rf_out.write(buf.tags["block"] * BLOCK_RECORDS,
+                         buf.view(SCHEMA.dtype))
+            return buf
+
+        def route(buf):
+            records = buf.view(SCHEMA.dtype)
+            return ("sorted" if SCHEMA.is_sorted(records)
+                    else "unsorted")
+
+        add_fork_join(
+            prog, "classify",
+            pre=[Stage.map("read", read)],
+            branches={
+                "sorted": [Stage.map("pass", passthrough)],
+                "unsorted": [Stage.map("sort", sort_block)],
+            },
+            post=[Stage.map("write", write)],
+            route=route,
+            nbuffers=3, buffer_bytes=BLOCK_RECORDS * SCHEMA.record_bytes,
+            rounds=N_BLOCKS)
+        prog.run()
+        return prog.thread_count
+
+    (threads,) = cluster.run(node_main)
+
+    # verify: every block individually sorted, content preserved per block
+    for b, keys in enumerate(blocks):
+        out = rf_out.peek(b * BLOCK_RECORDS, BLOCK_RECORDS)
+        assert SCHEMA.is_sorted(out), f"block {b} not sorted"
+        assert np.array_equal(out["key"], np.sort(keys))
+
+    print("fork-join demo: content-routed block sorting")
+    print(f"  blocks routed: {stats['sorted']} already-sorted, "
+          f"{stats['unsorted']} needing work")
+    print(f"  FG threads: {threads} "
+          "(fork and join are single intersecting-stage threads)")
+    print(f"  simulated time: {cluster.kernel.now() * 1e3:.2f} ms")
+    print("  all blocks verified sorted and content-preserved")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""FG on the real-time kernel with real files.
+
+Everything else in examples/ uses the deterministic virtual-time kernel;
+this one runs the same stage code on :class:`RealTimeKernel` with a
+:class:`FileStorage` backend, so the pipeline performs genuine out-of-core
+I/O against the host filesystem while the stages run as free OS threads.
+This mirrors the paper's actual deployment style (pthread stages + C stdio
+I/O) and demonstrates that the library's programs are kernel-agnostic.
+
+Run:  python examples/real_files.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.cluster import Cluster, FileStorage, HardwareModel
+from repro.core import FGProgram, Stage
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.sim import RealTimeKernel
+
+SCHEMA = RecordSchema.paper_16()
+N_BLOCKS = 64
+BLOCK_RECORDS = 8192
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-fg-") as tmp:
+        # time_scale=0: modeled latencies become yields; the real latency
+        # comes from the genuine file I/O below
+        kernel = RealTimeKernel(time_scale=0.0)
+        cluster = Cluster(n_nodes=1, hardware=HardwareModel(),
+                          kernel=kernel, storages=[FileStorage(tmp)])
+        node = cluster.node(0)
+
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**63, size=N_BLOCKS * BLOCK_RECORDS,
+                            dtype=np.uint64)
+        rf_in = RecordFile(node.disk, "input.dat", SCHEMA)
+        rf_out = RecordFile(node.disk, "sorted-blocks.dat", SCHEMA)
+        rf_in.poke(0, SCHEMA.from_keys(keys))
+
+        def node_main(node, comm):
+            prog = FGProgram(node.kernel, env={"node": node})
+
+            def read(ctx, buf):
+                buf.put(rf_in.read(buf.round * BLOCK_RECORDS,
+                                   BLOCK_RECORDS))
+                return buf
+
+            def sort(ctx, buf):
+                buf.put(SCHEMA.sort(buf.view(SCHEMA.dtype)))
+                return buf
+
+            def write(ctx, buf):
+                rf_out.write(buf.round * BLOCK_RECORDS,
+                             buf.view(SCHEMA.dtype))
+                return buf
+
+            prog.add_pipeline(
+                "sortblocks",
+                [Stage.map("read", read), Stage.map("sort", sort),
+                 Stage.map("write", write)],
+                nbuffers=4,
+                buffer_bytes=BLOCK_RECORDS * SCHEMA.record_bytes,
+                rounds=N_BLOCKS)
+            prog.run()
+
+        t0 = time.monotonic()
+        cluster.spawn_spmd(node_main)
+        kernel.run(timeout=120.0)
+        wall = time.monotonic() - t0
+
+        # verify every block is sorted and the multiset survived
+        out = rf_out.read_all()
+        for b in range(N_BLOCKS):
+            block = out[b * BLOCK_RECORDS:(b + 1) * BLOCK_RECORDS]
+            assert SCHEMA.is_sorted(block), f"block {b} not sorted"
+        assert np.array_equal(np.sort(out["key"]), np.sort(keys))
+
+        size_mb = N_BLOCKS * BLOCK_RECORDS * SCHEMA.record_bytes / 2**20
+        print("real-file FG pipeline (RealTimeKernel + FileStorage):")
+        print(f"  data:   {size_mb:.1f} MiB in {N_BLOCKS} blocks "
+              f"under {tmp}")
+        print(f"  wall:   {wall * 1e3:.1f} ms "
+              "(real threads, real disk I/O)")
+        print("  output: every block sorted, multiset verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""FG programming environment, reproduced in Python.
+
+``repro`` is a production-style reproduction of the FG ("effigy")
+programming environment: a framework that mitigates disk-I/O and
+interprocessor-communication latency by structuring programs as
+coarse-grained software pipelines whose stages run asynchronously and pass
+fixed-size buffers through queues.  On top of FG it implements the paper's
+complete evaluation stack: a simulated distributed-memory cluster, a
+Parallel-Disk-Model file layer, out-of-core columnsort (csort), and
+out-of-core distribution sort (dsort) using FG's multiple-pipeline
+extensions.
+
+Quick start::
+
+    from repro import VirtualTimeKernel, Pipeline, Stage, FGProgram
+
+See README.md for the architecture overview and examples/ for runnable
+programs.
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.sim import (
+    Channel,
+    Kernel,
+    Process,
+    RealTimeKernel,
+    Resource,
+    VirtualTimeKernel,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Kernel",
+    "Process",
+    "Channel",
+    "Resource",
+    "VirtualTimeKernel",
+    "RealTimeKernel",
+]

@@ -1,0 +1,26 @@
+"""Out-of-core applications beyond sorting (paper, Section VIII).
+
+The paper closes by arguing that FG's multiple-pipeline extensions "would
+be suitable for the design of out-of-core algorithms other than sorting"
+and solicits candidates.  This package supplies two:
+
+* :mod:`repro.apps.transpose` — out-of-core matrix transpose: the classic
+  Parallel-Disk-Model permutation problem, a single linear pipeline with
+  balanced all-to-all communication (csort's regime);
+* :mod:`repro.apps.groupby` — distribution-based out-of-core aggregation
+  (group-by-key, sum of values): hash partitioning with unbalanced
+  communication (disjoint pipelines) followed by a combining merge of
+  sorted runs (virtual + intersecting pipelines) — dsort's regime, reused
+  for a non-sorting computation.
+"""
+
+from repro.apps.transpose import TransposeReport, run_transpose
+from repro.apps.groupby import GroupByReport, KeyValueSchema, run_groupby
+
+__all__ = [
+    "TransposeReport",
+    "run_transpose",
+    "GroupByReport",
+    "KeyValueSchema",
+    "run_groupby",
+]

@@ -1,0 +1,238 @@
+"""Experiment functions, one per paper table/figure (see DESIGN.md index)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.harness import (
+    BENCH_RECORDS_16B,
+    PAPER_NODES,
+    SortRun,
+    benchmark_hardware,
+    run_sort,
+)
+from repro.cluster import Cluster, HardwareModel
+from repro.core import FGProgram, Stage
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.workloads.distributions import PAPER_DISTRIBUTIONS
+
+__all__ = [
+    "figure8_experiment",
+    "unbalanced_experiment",
+    "buffer_sweep_experiment",
+    "pool_size_experiment",
+    "ablation_linear_experiment",
+    "overlap_experiment",
+    "virtual_stage_experiment",
+]
+
+
+def figure8_experiment(record_bytes: int,
+                       n_nodes: int = PAPER_NODES,
+                       n_per_node: Optional[int] = None,
+                       distributions: Sequence[str] = PAPER_DISTRIBUTIONS,
+                       seed: int = 0) -> dict[str, dict[str, SortRun]]:
+    """Figure 8: dsort vs csort per-pass times on the four distributions.
+
+    As in the paper, the 16-byte and 64-byte experiments hold the byte
+    volume constant (64 GB there; ``BENCH_RECORDS_16B * 16`` bytes per
+    node here), so ``n_per_node`` defaults to the byte-equivalent count.
+    """
+    schema = RecordSchema(record_bytes)
+    if n_per_node is None:
+        n_per_node = BENCH_RECORDS_16B * 16 // record_bytes
+    results: dict[str, dict[str, SortRun]] = {}
+    for dist in distributions:
+        results[dist] = {
+            "dsort": run_sort("dsort", dist, schema, n_nodes=n_nodes,
+                              n_per_node=n_per_node, seed=seed),
+            "csort": run_sort("csort", dist, schema, n_nodes=n_nodes,
+                              n_per_node=n_per_node, seed=seed),
+        }
+    return results
+
+
+def unbalanced_experiment(n_nodes: int = PAPER_NODES,
+                          n_per_node: int = BENCH_RECORDS_16B,
+                          seed: int = 0) -> dict[str, dict[str, SortRun]]:
+    """Section VI: inputs designed to elicit highly unbalanced pass-1
+    communication (every node streams to the same hot receiver at any
+    given moment); 'even under these conditions, dsort fared well'."""
+    schema = RecordSchema.paper_16()
+    results: dict[str, dict[str, SortRun]] = {}
+    for dist in ("sorted", "reverse_sorted", "single_hot_value"):
+        results[dist] = {
+            "dsort": run_sort("dsort", dist, schema, n_nodes=n_nodes,
+                              n_per_node=n_per_node, seed=seed),
+            "csort": run_sort("csort", dist, schema, n_nodes=n_nodes,
+                              n_per_node=n_per_node, seed=seed),
+        }
+    return results
+
+
+def buffer_sweep_experiment(block_sizes: Sequence[int] = (512, 1024,
+                                                          2048, 4096),
+                            n_nodes: int = PAPER_NODES,
+                            n_per_node: int = BENCH_RECORDS_16B,
+                            seed: int = 0) -> dict[int, SortRun]:
+    """Section VI: 'all results reported here are for the best choices of
+    buffer sizes' — sweep dsort's pass-1 block size."""
+    schema = RecordSchema.paper_16()
+    return {block: run_sort("dsort", "uniform", schema, n_nodes=n_nodes,
+                            n_per_node=n_per_node, block_records=block,
+                            seed=seed)
+            for block in block_sizes}
+
+
+def pool_size_experiment(pool_sizes: Sequence[int] = (1, 2, 3, 4, 8),
+                         n_blocks: int = 32,
+                         block_records: int = 4096) -> dict[int, float]:
+    """FG's claim that "only a small pool containing a fixed number of
+    buffers needs to be allocated": sweep the pool size of a 3-stage
+    pipeline.  One buffer serializes the stages; a handful restores full
+    overlap; beyond that, more memory buys nothing."""
+    schema = RecordSchema.paper_16()
+    results: dict[int, float] = {}
+    for nbuffers in pool_sizes:
+        cluster = Cluster(n_nodes=1, hardware=benchmark_hardware())
+        node = cluster.node(0)
+        rf_in = RecordFile(node.disk, "in", schema)
+        rf_out = RecordFile(node.disk, "out", schema)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**63, size=n_blocks * block_records,
+                            dtype=np.uint64)
+        rf_in.poke(0, schema.from_keys(keys))
+        block_bytes = block_records * schema.record_bytes
+        compute_seconds = node.hardware.disk_time(block_bytes)
+
+        def main(node, comm, nbuffers=nbuffers):
+            prog = FGProgram(node.kernel, env={"node": node})
+
+            def read(ctx, buf):
+                buf.put(rf_in.read(buf.round * block_records,
+                                   block_records))
+                return buf
+
+            def compute(ctx, buf):
+                node.compute(compute_seconds)
+                return buf
+
+            def write(ctx, buf):
+                rf_out.write(buf.round * block_records,
+                             buf.view(schema.dtype))
+                return buf
+
+            prog.add_pipeline(
+                "p", [Stage.map("read", read),
+                      Stage.map("compute", compute),
+                      Stage.map("write", write)],
+                nbuffers=nbuffers, buffer_bytes=block_bytes,
+                rounds=n_blocks)
+            prog.run()
+
+        cluster.run(main)
+        results[nbuffers] = cluster.kernel.now()
+    return results
+
+
+def ablation_linear_experiment(n_nodes: int = PAPER_NODES,
+                               n_per_node: int = BENCH_RECORDS_16B,
+                               seed: int = 0) -> dict[str, SortRun]:
+    """Section VIII: dsort with multiple pipelines vs dsort restricted to
+    single linear pipelines per node."""
+    schema = RecordSchema.paper_16()
+    return {
+        "multi": run_sort("dsort", "uniform", schema, n_nodes=n_nodes,
+                          n_per_node=n_per_node, seed=seed),
+        "linear": run_sort("dsort-linear", "uniform", schema,
+                           n_nodes=n_nodes, n_per_node=n_per_node,
+                           seed=seed),
+    }
+
+
+def overlap_experiment(n_blocks: int = 32,
+                       block_records: int = 4096) -> dict[str, float]:
+    """The FG headline claim (Figures 1-2): a pipeline overlaps I/O with
+    computation, so elapsed time approaches the bottleneck stage rather
+    than the sum of stages.
+
+    One node reads a block, computes on it for one block-read-equivalent,
+    and writes it back — serially, then as a 3-stage FG pipeline.
+    """
+    schema = RecordSchema.paper_16()
+    results: dict[str, float] = {}
+    for mode in ("serial", "pipeline"):
+        cluster = Cluster(n_nodes=1, hardware=benchmark_hardware())
+        node = cluster.node(0)
+        rf_in = RecordFile(node.disk, "in", schema)
+        rf_out = RecordFile(node.disk, "out", schema)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**63, size=n_blocks * block_records,
+                            dtype=np.uint64)
+        rf_in.poke(0, schema.from_keys(keys))
+        block_bytes = block_records * schema.record_bytes
+        compute_seconds = node.hardware.disk_time(block_bytes)
+
+        def serial_main(node, comm):
+            for b in range(n_blocks):
+                records = rf_in.read(b * block_records, block_records)
+                node.compute(compute_seconds)
+                rf_out.write(b * block_records, records)
+
+        def pipeline_main(node, comm):
+            prog = FGProgram(node.kernel, env={"node": node})
+
+            def read(ctx, buf):
+                buf.put(rf_in.read(buf.round * block_records,
+                                   block_records))
+                return buf
+
+            def compute(ctx, buf):
+                node.compute(compute_seconds)
+                return buf
+
+            def write(ctx, buf):
+                rf_out.write(buf.round * block_records,
+                             buf.view(schema.dtype))
+                return buf
+
+            prog.add_pipeline(
+                "p", [Stage.map("read", read),
+                      Stage.map("compute", compute),
+                      Stage.map("write", write)],
+                nbuffers=4, buffer_bytes=block_bytes, rounds=n_blocks)
+            prog.run()
+
+        main = serial_main if mode == "serial" else pipeline_main
+        cluster.run(main)
+        results[mode] = cluster.kernel.now()
+    results["speedup"] = results["serial"] / results["pipeline"]
+    return results
+
+
+def virtual_stage_experiment(ks: Sequence[int] = (4, 32, 256)) -> \
+        dict[int, dict[str, int]]:
+    """Figure 5(b): thread count for k pipelines, with and without
+    virtual stages."""
+    from repro.sim import VirtualTimeKernel
+
+    out: dict[int, dict[str, int]] = {}
+    for k in ks:
+        counts = {}
+        for virtual in (True, False):
+            kernel = VirtualTimeKernel()
+            prog = FGProgram(kernel)
+            for i in range(k):
+                stage = Stage.map(f"acq{i}", lambda ctx, b: b,
+                                  virtual=virtual, virtual_group="acquire")
+                prog.add_pipeline(f"v{i}", [stage], nbuffers=1,
+                                  buffer_bytes=16, rounds=2)
+            kernel.spawn(prog.run, name="driver")
+            kernel.run()
+            counts["virtual" if virtual else "plain"] = prog.thread_count
+        out[k] = counts
+    return out

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the same information the paper's Figure 8 plots:
+per-pass and total times for dsort and csort across distributions, plus
+the dsort/csort ratio the paper quotes as 74.26%-85.06%.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.harness import SortRun
+
+__all__ = ["render_table", "render_figure8"]
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.4f}" if isinstance(v, float) else str(v) for v in row])
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_figure8(results: Mapping[str, Mapping[str, SortRun]],
+                   record_bytes: int) -> str:
+    """Figure-8-style rows: one line per distribution per program."""
+    headers = ["distribution", "program", "sampling", "pass1", "pass2",
+               "pass3", "total", "dsort/csort"]
+    rows = []
+    for dist, pair in results.items():
+        dsort, csort = pair["dsort"], pair["csort"]
+        ratio = dsort.total_time / csort.total_time
+        rows.append([dist, "dsort",
+                     dsort.phase_times["sampling"],
+                     dsort.phase_times["pass1"],
+                     dsort.phase_times["pass2"], "-",
+                     dsort.total_time, ratio])
+        rows.append([dist, "csort", "-",
+                     csort.phase_times["pass1"],
+                     csort.phase_times["pass2"],
+                     csort.phase_times["pass3"],
+                     csort.total_time, ""])
+    title = (f"Figure 8 ({'a' if record_bytes == 16 else 'b'}): "
+             f"{record_bytes}-byte records, "
+             "per-pass simulated times (seconds)")
+    return title + "\n" + render_table(headers, rows)

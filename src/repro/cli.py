@@ -1,0 +1,254 @@
+"""Command-line interface: run experiments without writing a script.
+
+Usage::
+
+    python -m repro sort --sorter dsort --distribution poisson
+    python -m repro figure8 --record-bytes 16
+    python -m repro sweep --blocks 512,1024,2048
+    python -m repro overlap
+    python -m repro distributions
+
+Every command builds a fresh simulated cluster with the scaled paper
+hardware, runs deterministically, verifies the output, and prints the
+same tables the benchmark suite saves under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FG programming environment — experiment runner")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser(
+        "sort", help="run one sorting experiment and print its breakdown")
+    p_sort.add_argument("--sorter", default="dsort",
+                        choices=["dsort", "csort", "dsort-linear"])
+    p_sort.add_argument("--distribution", default="uniform")
+    p_sort.add_argument("--nodes", type=int, default=16)
+    p_sort.add_argument("--records-per-node", type=int, default=16384)
+    p_sort.add_argument("--record-bytes", type=int, default=16)
+    p_sort.add_argument("--seed", type=int, default=0)
+
+    p_fig = sub.add_parser(
+        "figure8", help="regenerate Figure 8 (dsort vs csort table)")
+    p_fig.add_argument("--record-bytes", type=int, default=16,
+                       choices=[16, 64])
+    p_fig.add_argument("--nodes", type=int, default=16)
+    p_fig.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep dsort's pass-1 buffer size")
+    p_sweep.add_argument("--blocks", default="512,1024,2048,4096",
+                         help="comma-separated block sizes in records")
+    p_sweep.add_argument("--nodes", type=int, default=16)
+
+    sub.add_parser("overlap",
+                   help="pipeline-vs-serial overlap demonstration")
+
+    sub.add_parser("distributions", help="list available key distributions")
+
+    p_apps = sub.add_parser(
+        "apps", help="run the beyond-sorting applications "
+                     "(out-of-core transpose + group-by)")
+    p_apps.add_argument("--nodes", type=int, default=4)
+    p_apps.add_argument("--matrix-side", type=int, default=128)
+    p_apps.add_argument("--kv-per-node", type=int, default=10000)
+    p_apps.add_argument("--key-space", type=int, default=500)
+
+    p_trace = sub.add_parser(
+        "trace", help="run dsort with the tracer and print a Gantt chart")
+    p_trace.add_argument("--nodes", type=int, default=2)
+    p_trace.add_argument("--records-per-node", type=int, default=16384)
+    p_trace.add_argument("--distribution", default="uniform")
+    p_trace.add_argument("--width", type=int, default=100)
+    p_trace.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_sort
+    from repro.pdm.records import RecordSchema
+
+    schema = RecordSchema(args.record_bytes)
+    run = run_sort(args.sorter, args.distribution, schema,
+                   n_nodes=args.nodes, n_per_node=args.records_per_node,
+                   seed=args.seed)
+    print(f"{run.sorter} on {run.distribution}: "
+          f"{run.n_nodes} nodes x {run.n_per_node} "
+          f"{run.record_bytes}-byte records "
+          f"({run.total_bytes / 2**20:.1f} MiB)")
+    for phase, seconds in run.phase_times.items():
+        print(f"  {phase:10s} {seconds * 1e3:10.3f} ms")
+    print(f"  {'total':10s} {run.total_time * 1e3:10.3f} ms")
+    print(f"  output verified: {run.verified}")
+    if run.partition_imbalance is not None:
+        print(f"  partition max/avg: {run.partition_imbalance:.4f}")
+    print(f"  disk bytes moved: {run.bytes_io} "
+          f"({run.bytes_io / run.total_bytes:.2f}x data volume)")
+    print(f"  wire bytes sent:  {run.bytes_wire}")
+    return 0
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    from repro.bench.figures import figure8_experiment
+    from repro.bench.reporting import render_figure8
+
+    results = figure8_experiment(args.record_bytes, n_nodes=args.nodes,
+                                 seed=args.seed)
+    print(render_figure8(results, args.record_bytes))
+    worst = max(pair["dsort"].total_time / pair["csort"].total_time
+                for pair in results.values())
+    print(f"\nworst-case dsort/csort ratio: {worst:.4f} "
+          "(paper: 0.7426-0.8506)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.figures import buffer_sweep_experiment
+    from repro.bench.reporting import render_table
+
+    blocks = [int(b) for b in args.blocks.split(",") if b]
+    results = buffer_sweep_experiment(blocks, n_nodes=args.nodes)
+    rows = [[block, run.total_time] for block, run in sorted(
+        results.items())]
+    print(render_table(["block_records", "dsort total (s)"], rows))
+    return 0
+
+
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    from repro.bench.figures import overlap_experiment
+
+    results = overlap_experiment()
+    print(f"serial:    {results['serial'] * 1e3:9.3f} ms")
+    print(f"pipelined: {results['pipeline'] * 1e3:9.3f} ms")
+    print(f"speedup:   {results['speedup']:9.2f}x")
+    return 0
+
+
+def _cmd_distributions(args: argparse.Namespace) -> int:
+    from repro.workloads.distributions import (
+        ADVERSARIAL_DISTRIBUTIONS,
+        DISTRIBUTIONS,
+        PAPER_DISTRIBUTIONS,
+    )
+
+    for name in sorted(DISTRIBUTIONS):
+        marks = []
+        if name in PAPER_DISTRIBUTIONS:
+            marks.append("paper")
+        if name in ADVERSARIAL_DISTRIBUTIONS:
+            marks.append("adversarial")
+        suffix = f"  [{', '.join(marks)}]" if marks else ""
+        print(f"{name}{suffix}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.harness import benchmark_hardware, default_dsort_config
+    from repro.cluster import Cluster
+    from repro.pdm.records import RecordSchema
+    from repro.sim import Tracer, VirtualTimeKernel
+    from repro.sorting.dsort import run_dsort
+    from repro.sorting.verify import verify_striped_output
+    from repro.workloads.generator import generate_input
+
+    schema = RecordSchema.paper_16()
+    tracer = Tracer()
+    kernel = VirtualTimeKernel(tracer=tracer)
+    cluster = Cluster(n_nodes=args.nodes, hardware=benchmark_hardware(),
+                      kernel=kernel)
+    manifest = generate_input(cluster, schema, args.records_per_node,
+                              args.distribution, seed=args.seed)
+    config = default_dsort_config(args.nodes * args.records_per_node,
+                                  args.nodes)
+    cluster.run(run_dsort, schema, config)
+    verify_striped_output(cluster, manifest, config.output_file,
+                          config.out_block_records)
+    stage_rows = [n for n in tracer.process_names()
+                  if "@0" in n and ".source" not in n
+                  and ".sink" not in n and "family" not in n
+                  and not n.startswith("main")]
+    print(f"dsort on {args.nodes} nodes, {args.distribution}: "
+          f"{kernel.now() * 1e3:.2f} ms simulated; node-0 stage threads:\n")
+    print(tracer.gantt(width=args.width, processes=stage_rows))
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.apps.groupby import (
+        GroupByConfig,
+        KeyValueSchema,
+        run_groupby,
+    )
+    from repro.apps.transpose import MATRIX_FILE, run_transpose
+    from repro.cluster import Cluster, HardwareModel
+    from repro.pdm.blockfile import RecordFile
+
+    P = args.nodes
+    n = args.matrix_side
+    if n % P != 0:
+        raise SystemExit(f"--matrix-side must be a multiple of "
+                         f"--nodes ({P})")
+    hw = HardwareModel.scaled_paper_cluster()
+
+    cluster = Cluster(n_nodes=P, hardware=hw)
+    rng = np.random.default_rng(0)
+    rows = n // P
+    for node in cluster.nodes:
+        block = rng.random((rows, n))
+        node.disk.storage.write(MATRIX_FILE, 0,
+                                block.reshape(-1).view(np.uint8))
+    cluster.run(run_transpose, n)
+    print(f"transpose: {n}x{n} float64 on {P} nodes in "
+          f"{cluster.kernel.now() * 1e3:.2f} ms simulated")
+
+    schema = KeyValueSchema()
+    cluster = Cluster(n_nodes=P, hardware=hw)
+    for node in cluster.nodes:
+        keys = rng.integers(0, args.key_space, size=args.kv_per_node,
+                            dtype=np.uint64)
+        values = rng.integers(0, 1000, size=args.kv_per_node,
+                              dtype=np.uint64)
+        RecordFile(node.disk, "kv-input", schema).poke(
+            0, schema.make(keys, values))
+    reports = cluster.run(run_groupby, GroupByConfig())
+    groups = sum(r.distinct_keys for r in reports)
+    print(f"group-by:  {P * args.kv_per_node} records -> {groups} groups "
+          f"in {cluster.kernel.now() * 1e3:.2f} ms simulated")
+    return 0
+
+
+_COMMANDS = {
+    "sort": _cmd_sort,
+    "figure8": _cmd_figure8,
+    "sweep": _cmd_sweep,
+    "overlap": _cmd_overlap,
+    "distributions": _cmd_distributions,
+    "trace": _cmd_trace,
+    "apps": _cmd_apps,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Simulated distributed-memory cluster: nodes, disks, network, MPI layer.
+
+This package is the substitute for the paper's physical platform (a 16-node
+Beowulf cluster with per-node SCSI disks and a 2 Gb/s Myrinet network).  It
+models the three contention points that determine out-of-core sorting
+performance — the disk arm, the NIC, and the CPU cores — while really moving
+the data, so end-to-end correctness is checkable.
+
+Layers:
+
+* :mod:`repro.cluster.hardware` — cost-model parameters and presets;
+* :mod:`repro.cluster.storage`  — byte stores backing each disk (in-memory
+  or real files);
+* :mod:`repro.cluster.disk`     — the disk device: arm contention +
+  seek/bandwidth charging;
+* :mod:`repro.cluster.network`  — NIC resources, latency, message transport;
+* :mod:`repro.cluster.node`     — one node: disk + NICs + cores + mailbox;
+* :mod:`repro.cluster.mpi`      — MPI-like communicator (send/recv/
+  collectives) per node;
+* :mod:`repro.cluster.cluster`  — assembles P nodes and runs SPMD programs.
+"""
+
+from repro.cluster.hardware import HardwareModel
+from repro.cluster.storage import FileStorage, MemoryStorage, Storage
+from repro.cluster.disk import Disk
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.mpi import ANY_SOURCE, ANY_TAG, Comm
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "HardwareModel",
+    "Storage",
+    "MemoryStorage",
+    "FileStorage",
+    "Disk",
+    "Network",
+    "Node",
+    "Comm",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Cluster",
+]

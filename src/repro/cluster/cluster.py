@@ -1,0 +1,97 @@
+"""Cluster assembly and SPMD execution.
+
+:class:`Cluster` wires P nodes to one network on one kernel and runs SPMD
+programs: the same per-node main function, spawned once per rank, exactly
+like ``mpiexec -n P`` launches the paper's programs.  Each per-node main
+receives its :class:`~repro.cluster.node.Node` and
+:class:`~repro.cluster.mpi.Comm`, and typically assembles FG pipelines.
+
+Typical use::
+
+    cluster = Cluster(n_nodes=16)
+    results = cluster.run(node_main, extra_arg)   # one result per rank
+    elapsed = cluster.kernel.now()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.hardware import HardwareModel
+from repro.cluster.mpi import Comm
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.storage import Storage
+from repro.errors import ClusterError
+from repro.sim.kernel import Kernel, Process
+from repro.sim.virtual import VirtualTimeKernel
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """P simulated nodes + network + kernel, ready to run SPMD programs."""
+
+    def __init__(self, n_nodes: int,
+                 hardware: Optional[HardwareModel] = None,
+                 kernel: Optional[Kernel] = None,
+                 storages: Optional[Sequence[Storage]] = None,
+                 mailbox_capacity_bytes: Optional[int] = None):
+        if n_nodes < 1:
+            raise ClusterError("cluster needs at least one node")
+        self.hardware = hardware if hardware is not None \
+            else HardwareModel.paper_cluster()
+        self.kernel = kernel if kernel is not None else VirtualTimeKernel()
+        if storages is not None and len(storages) != n_nodes:
+            raise ClusterError(
+                f"need {n_nodes} storages, got {len(storages)}")
+        self.network = Network(self.kernel, self.hardware, n_nodes,
+                               mailbox_capacity_bytes=mailbox_capacity_bytes)
+        self.nodes = [
+            Node(self.kernel, rank, self.hardware,
+                 storages[rank] if storages is not None else None)
+            for rank in range(n_nodes)
+        ]
+        self.comms = [Comm(self.network, rank) for rank in range(n_nodes)]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, rank: int) -> Node:
+        return self.nodes[rank]
+
+    def comm(self, rank: int) -> Comm:
+        return self.comms[rank]
+
+    # -- SPMD execution ---------------------------------------------------------
+
+    def spawn_spmd(self, main: Callable[..., Any], *args: Any,
+                   name: str = "main") -> list[Process]:
+        """Spawn ``main(node, comm, *args)`` once per rank; caller runs kernel."""
+        return [
+            self.kernel.spawn(main, self.nodes[rank], self.comms[rank],
+                              *args, name=f"{name}@{rank}")
+            for rank in range(self.n_nodes)
+        ]
+
+    def run(self, main: Callable[..., Any], *args: Any) -> list[Any]:
+        """Spawn SPMD mains, run the kernel to completion, return results."""
+        procs = self.spawn_spmd(main, *args)
+        self.kernel.run()
+        return [proc.result for proc in procs]
+
+    # -- aggregate stats ------------------------------------------------------------
+
+    def total_bytes_io(self) -> int:
+        """Total bytes read+written across every disk in the cluster."""
+        return sum(node.disk.bytes_total for node in self.nodes)
+
+    def total_bytes_sent(self) -> int:
+        """Total bytes put on the wire (excludes loopback)."""
+        return sum(self.network.bytes_sent)
+
+    def max_disk_busy(self) -> float:
+        """Busy time of the most heavily used disk (the paper's imbalance
+        concern for dsort: some disks do more than the average volume)."""
+        return max(node.disk.busy_time() for node in self.nodes)

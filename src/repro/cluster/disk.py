@@ -1,0 +1,92 @@
+"""The simulated disk device: one arm, seek + bandwidth charging.
+
+A :class:`Disk` wraps a :class:`~repro.cluster.storage.Storage` with the
+cost model of :class:`~repro.cluster.hardware.HardwareModel`: every read or
+write acquires the (capacity-1) disk-arm resource, sleeps
+``seek + nbytes/bandwidth`` kernel seconds, and then performs the real data
+movement on the backing store.  Concurrent requests from different pipeline
+stages therefore serialize on the arm — exactly the contention that makes
+"the most heavily used disk in a pass" matter for dsort (paper, Section I).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.hardware import HardwareModel
+from repro.cluster.storage import Storage
+from repro.errors import DiskError
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Resource
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """A single disk: storage + arm contention + I/O accounting."""
+
+    def __init__(self, kernel: Kernel, storage: Storage,
+                 hardware: HardwareModel, name: str = "disk"):
+        self.kernel = kernel
+        self.storage = storage
+        self.hardware = hardware
+        self.name = name
+        self.arm = Resource(kernel, capacity=1, name=f"{name}.arm")
+        # accounting
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- timed operations (must run inside a kernel process) ----------------
+
+    def read(self, name: str, offset: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` at ``offset`` of file ``name``; returns uint8 array."""
+        if nbytes < 0:
+            raise DiskError(f"negative read length: {nbytes}")
+        with self.arm.request():
+            self.kernel.sleep(self.hardware.disk_time(nbytes))
+            data = self.storage.read(name, offset, nbytes)
+        self.bytes_read += nbytes
+        self.reads += 1
+        return data
+
+    def write(self, name: str, offset: int, data: np.ndarray) -> None:
+        """Write ``data`` (any dtype, raw bytes) at ``offset`` of ``name``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        with self.arm.request():
+            self.kernel.sleep(self.hardware.disk_time(len(raw)))
+            self.storage.write(name, offset, raw)
+        self.bytes_written += len(raw)
+        self.writes += 1
+
+    # -- untimed metadata operations ------------------------------------------
+
+    def size(self, name: str) -> int:
+        return self.storage.size(name)
+
+    def exists(self, name: str) -> bool:
+        return self.storage.exists(name)
+
+    def delete(self, name: str) -> None:
+        self.storage.delete(name)
+
+    def names(self) -> list[str]:
+        return self.storage.names()
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def busy_time(self) -> float:
+        """Seconds the disk arm has been busy so far."""
+        return self.arm.busy_time()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Disk {self.name}: {self.reads} reads "
+                f"({self.bytes_read} B), {self.writes} writes "
+                f"({self.bytes_written} B)>")

@@ -1,0 +1,244 @@
+"""Simulated interconnect: NIC contention, latency, and message transport.
+
+Transfer model (store-and-forward, full-duplex NICs):
+
+1. the *sender* holds its transmit-NIC resource for ``nbytes/bandwidth``
+   seconds (so a node sending to many peers serializes on its own NIC);
+2. the message becomes *available* at the destination ``net_latency``
+   seconds after transmission completes;
+3. the *receiver*, when it consumes the message, holds its receive-NIC
+   resource for ``nbytes/bandwidth`` seconds (so a node that many peers
+   target — dsort's unbalanced pass-1 communication — bottlenecks on its
+   receive side, as on real hardware).
+
+Sends are **eager**: the destination mailbox buffers arbitrarily many
+messages, so a send never waits for a matching receive.  This mirrors
+MPI eager-protocol behaviour for the mid-sized messages FG moves and makes
+all-to-all exchanges trivially deadlock-free.
+
+Message matching is FIFO per (source, tag) with optional wildcards, as in
+MPI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Optional
+
+from repro.cluster.hardware import HardwareModel
+from repro.errors import CommError
+from repro.sim.kernel import Kernel, Process
+from repro.sim.resources import Resource
+
+__all__ = ["Message", "Mailbox", "Network"]
+
+
+@dataclasses.dataclass
+class Message:
+    """One in-flight message."""
+
+    src: int
+    tag: int
+    payload: Any
+    nbytes: int
+    available_at: float
+    #: small out-of-band metadata dict (block ids, offsets, ...); charged
+    #: as a fixed small header, not by pickled size
+    meta: Optional[dict] = None
+    #: True when the sender reserved bounded-mailbox space for this
+    #: message (loopback messages never reserve)
+    reserved: bool = False
+
+
+def _matches(msg: Message, source: Optional[int], tag: Optional[int]) -> bool:
+    return ((source is None or msg.src == source)
+            and (tag is None or msg.tag == tag))
+
+
+class Mailbox:
+    """Per-node message buffer with MPI-style matching.
+
+    Optionally *bounded*: with ``capacity_bytes`` set, senders must
+    reserve space before depositing and block while the buffer is full —
+    modeling real MPI memory limits / rendezvous behaviour instead of the
+    default infinitely-eager buffering.  A message larger than the whole
+    capacity is admitted only when the buffer is empty (it could never
+    fit otherwise).
+    """
+
+    def __init__(self, kernel: Kernel, name: str,
+                 capacity_bytes: Optional[int] = None):
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise CommError("mailbox capacity must be None or >= 1")
+        self.kernel = kernel
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._buffered_bytes = 0
+        self._pending: deque[Message] = deque()
+        self._waiters: deque[tuple[Process, Optional[int], Optional[int]]] = deque()
+        self._send_waiters: deque[tuple[Process, int]] = deque()
+
+    def reserve(self, nbytes: int) -> None:
+        """Claim buffer space for an incoming deposit (sender side).
+
+        No-op for unbounded mailboxes.  FIFO-fair: a big message at the
+        head of the queue is not overtaken by small ones behind it.
+        """
+        if self.capacity_bytes is None:
+            return
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if (not self._send_waiters
+                and self._fits_locked(nbytes)):
+            self._buffered_bytes += nbytes
+            kernel.mutex.release()
+            return
+        me = kernel.current_process()
+        self._send_waiters.append((me, nbytes))
+        kernel.block_current(
+            locked=True,
+            reason=f"reserve {nbytes}B in full {self.name} "
+                   f"(cap {self.capacity_bytes}B)")
+        # the receiver that freed space performed our reservation
+
+    def _fits_locked(self, nbytes: int) -> bool:
+        return (self._buffered_bytes + nbytes <= self.capacity_bytes
+                or self._buffered_bytes == 0)
+
+    def _release_locked(self, nbytes: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        self._buffered_bytes -= nbytes
+        while self._send_waiters and self._fits_locked(
+                self._send_waiters[0][1]):
+            proc, need = self._send_waiters.popleft()
+            self._buffered_bytes += need
+            self.kernel.make_ready(proc)
+
+    def deposit(self, msg: Message) -> None:
+        """Add a message; hand it directly to the oldest matching waiter.
+
+        For bounded mailboxes the sender must have reserved space first.
+        """
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        for i, (proc, source, tag) in enumerate(self._waiters):
+            if _matches(msg, source, tag):
+                del self._waiters[i]
+                kernel.make_ready(proc, msg)
+                # handed straight to a receiver: buffer space frees now
+                if msg.reserved:
+                    self._release_locked(msg.nbytes)
+                kernel.mutex.release()
+                return
+        self._pending.append(msg)
+        kernel.mutex.release()
+
+    def receive(self, source: Optional[int] = None,
+                tag: Optional[int] = None) -> Message:
+        """Block until a matching message arrives; remove and return it."""
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        for i, msg in enumerate(self._pending):
+            if _matches(msg, source, tag):
+                del self._pending[i]
+                if msg.reserved:
+                    self._release_locked(msg.nbytes)
+                kernel.mutex.release()
+                return msg
+        me = kernel.current_process()
+        self._waiters.append((me, source, tag))
+        return kernel.block_current(
+            locked=True,
+            reason=f"recv(src={source}, tag={tag}) <- {self.name}")
+
+    def iprobe(self, source: Optional[int] = None,
+               tag: Optional[int] = None) -> bool:
+        """Non-blocking: is a matching message pending?"""
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        found = any(_matches(m, source, tag) for m in self._pending)
+        kernel.mutex.release()
+        return found
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)
+
+
+class Network:
+    """The cluster interconnect: one tx/rx NIC pair per node + mailboxes."""
+
+    def __init__(self, kernel: Kernel, hardware: HardwareModel,
+                 n_nodes: int,
+                 mailbox_capacity_bytes: Optional[int] = None):
+        if n_nodes < 1:
+            raise CommError("network needs at least one node")
+        self.kernel = kernel
+        self.hardware = hardware
+        self.n_nodes = n_nodes
+        self.mailbox_capacity_bytes = mailbox_capacity_bytes
+        self.tx = [Resource(kernel, 1, name=f"nic{r}.tx")
+                   for r in range(n_nodes)]
+        self.rx = [Resource(kernel, 1, name=f"nic{r}.rx")
+                   for r in range(n_nodes)]
+        self.mailboxes = [Mailbox(kernel, name=f"mailbox{r}",
+                                  capacity_bytes=mailbox_capacity_bytes)
+                          for r in range(n_nodes)]
+        # accounting: bytes put on the wire per sender / taken off per receiver
+        self.bytes_sent = [0] * n_nodes
+        self.bytes_received = [0] * n_nodes
+        self.messages = 0
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.n_nodes:
+            raise CommError(f"{what} rank {rank} out of range "
+                            f"[0, {self.n_nodes})")
+
+    def send(self, src: int, dst: int, payload: Any, tag: int,
+             nbytes: int, meta: Optional[dict] = None) -> None:
+        """Transmit ``payload`` from ``src`` to ``dst`` (timed, eager)."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if nbytes < 0:
+            raise CommError(f"negative message size: {nbytes}")
+        if src == dst:
+            # Loopback skips the NIC (a memcpy-scale cost) and never
+            # reserves bounded-mailbox space — a node blocking on its own
+            # full mailbox could only deadlock itself.
+            self.kernel.sleep(self.hardware.copy_time(nbytes))
+            msg = Message(src, tag, payload, nbytes, self.kernel.now(),
+                          meta)
+        else:
+            # With bounded mailboxes the sender claims destination buffer
+            # space before transmitting (rendezvous-style backpressure).
+            self.mailboxes[dst].reserve(nbytes)
+            with self.tx[src].request():
+                self.kernel.sleep(self.hardware.wire_time(nbytes))
+            self.bytes_sent[src] += nbytes
+            msg = Message(src, tag, payload, nbytes,
+                          self.kernel.now() + self.hardware.net_latency,
+                          meta,
+                          reserved=self.mailbox_capacity_bytes is not None)
+        self.messages += 1
+        self.mailboxes[dst].deposit(msg)
+
+    def recv(self, dst: int, source: Optional[int] = None,
+             tag: Optional[int] = None) -> Message:
+        """Consume the oldest matching message at ``dst`` (timed)."""
+        self._check_rank(dst, "destination")
+        msg = self.mailboxes[dst].receive(source, tag)
+        gap = msg.available_at - self.kernel.now()
+        if gap > 0:
+            self.kernel.sleep(gap)
+        if msg.src != dst:
+            with self.rx[dst].request():
+                self.kernel.sleep(self.hardware.wire_time(msg.nbytes))
+            self.bytes_received[dst] += msg.nbytes
+        return msg
+
+    def iprobe(self, dst: int, source: Optional[int] = None,
+               tag: Optional[int] = None) -> bool:
+        self._check_rank(dst, "destination")
+        return self.mailboxes[dst].iprobe(source, tag)

@@ -1,0 +1,196 @@
+"""Byte-addressed storage backends behind each simulated disk.
+
+A :class:`Storage` is a flat namespace of named files supporting positional
+reads and writes of ``numpy`` byte arrays.  Two backends:
+
+* :class:`MemoryStorage` — bytearray-backed; the default for simulations
+  (data really moves, nothing touches the host filesystem);
+* :class:`FileStorage` — one real file per name under a directory; used
+  with the real-time kernel to demonstrate genuine out-of-core behaviour.
+
+Storage carries **no timing**: all latency/bandwidth charging happens in
+:class:`repro.cluster.disk.Disk`, which wraps a storage.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["Storage", "MemoryStorage", "FileStorage"]
+
+
+class Storage:
+    """Abstract byte store: named files, positional numpy I/O."""
+
+    def read(self, name: str, offset: int, nbytes: int) -> np.ndarray:
+        """Return ``nbytes`` bytes of file ``name`` starting at ``offset``.
+
+        Reading past the end of a file is an error (files have no holes
+        unless written sparsely; see :meth:`truncate`).
+        """
+        raise NotImplementedError
+
+    def write(self, name: str, offset: int, data: np.ndarray) -> None:
+        """Write ``data`` (any dtype; written as raw bytes) at ``offset``.
+
+        Writing past the current end extends the file; a gap between the
+        old end and ``offset`` is zero-filled.
+        """
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        """Current size of file ``name`` in bytes (0 if absent)."""
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove file ``name`` (no-op if absent)."""
+        raise NotImplementedError
+
+    def names(self) -> list[str]:
+        """All file names present, sorted (deterministic iteration)."""
+        raise NotImplementedError
+
+    def truncate(self, name: str, nbytes: int) -> None:
+        """Force file ``name`` to exactly ``nbytes`` (extend zero-filled)."""
+        raise NotImplementedError
+
+    # -- shared validation -------------------------------------------------
+
+    @staticmethod
+    def _check(offset: int, nbytes: int) -> None:
+        if offset < 0:
+            raise StorageError(f"negative offset: {offset}")
+        if nbytes < 0:
+            raise StorageError(f"negative length: {nbytes}")
+
+    @staticmethod
+    def _as_bytes(data: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(data)
+        return arr.view(np.uint8).reshape(-1)
+
+
+class MemoryStorage(Storage):
+    """In-memory backend: one ``bytearray`` per file."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytearray] = {}
+
+    def read(self, name: str, offset: int, nbytes: int) -> np.ndarray:
+        self._check(offset, nbytes)
+        try:
+            buf = self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name!r}") from None
+        if offset + nbytes > len(buf):
+            raise StorageError(
+                f"read past end of {name!r}: offset {offset} + {nbytes} "
+                f"> size {len(buf)}")
+        return np.frombuffer(buf, dtype=np.uint8,
+                             count=nbytes, offset=offset).copy()
+
+    def write(self, name: str, offset: int, data: np.ndarray) -> None:
+        raw = self._as_bytes(data)
+        self._check(offset, len(raw))
+        buf = self._files.setdefault(name, bytearray())
+        end = offset + len(raw)
+        if end > len(buf):
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = raw.tobytes()
+
+    def size(self, name: str) -> int:
+        return len(self._files.get(name, b""))
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    def truncate(self, name: str, nbytes: int) -> None:
+        self._check(0, nbytes)
+        buf = self._files.setdefault(name, bytearray())
+        if nbytes <= len(buf):
+            del buf[nbytes:]
+        else:
+            buf.extend(b"\x00" * (nbytes - len(buf)))
+
+
+class FileStorage(Storage):
+    """Real-file backend: each name maps to a file under ``directory``.
+
+    Names may not contain path separators (flat namespace by design; the
+    PDM layer builds structured names like ``"run.3"`` itself).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        if "/" in name or "\\" in name or name in (".", ".."):
+            raise StorageError(f"illegal file name: {name!r}")
+        return os.path.join(self.directory, name)
+
+    def read(self, name: str, offset: int, nbytes: int) -> np.ndarray:
+        self._check(offset, nbytes)
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise StorageError(f"no such file: {name!r}")
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if offset + nbytes > size:
+                raise StorageError(
+                    f"read past end of {name!r}: offset {offset} + {nbytes} "
+                    f"> size {size}")
+            fh.seek(offset)
+            raw = fh.read(nbytes)
+        return np.frombuffer(raw, dtype=np.uint8).copy()
+
+    def write(self, name: str, offset: int, data: np.ndarray) -> None:
+        raw = self._as_bytes(data)
+        self._check(offset, len(raw))
+        path = self._path(name)
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        with open(path, mode) as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if offset > size:
+                fh.write(b"\x00" * (offset - size))
+            fh.seek(offset)
+            fh.write(raw.tobytes())
+
+    def size(self, name: str) -> int:
+        path = self._path(name)
+        return os.path.getsize(path) if os.path.exists(path) else 0
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def names(self) -> list[str]:
+        return sorted(os.listdir(self.directory))
+
+    def truncate(self, name: str, nbytes: int) -> None:
+        self._check(0, nbytes)
+        path = self._path(name)
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        with open(path, "r+b") as fh:
+            fh.truncate(nbytes)

@@ -1,0 +1,35 @@
+"""FG: the pipeline framework (the paper's core contribution).
+
+FG structures a program as one or more **pipelines** per node.  A pipeline
+is a linear sequence of **stages**; FG adds a **source** stage at the front
+and a **sink** stage at the end, places a buffer queue between each pair of
+consecutive stages, and runs every stage in its own thread (kernel
+process).  Fixed-size **buffers** travel from the source through the stages
+to the sink, which recycles them back to the source, so a small, fixed pool
+of buffers supports an unbounded number of rounds.
+
+Extensions reproduced from the paper:
+
+* **multiple disjoint pipelines** per node (Section IV) — e.g. a send
+  pipeline and a receive pipeline progressing at different rates;
+* **multiple intersecting pipelines** (Section IV) — a stage object placed
+  in several pipelines runs in a single thread and accepts buffers from a
+  chosen pipeline (the merge stage of dsort's pass 2);
+* **virtual stages / virtual pipelines** (Section IV) — identical stages
+  across many pipelines share one thread and one input queue, and FG
+  automatically virtualizes their sources and sinks, so hundreds of sorted
+  runs do not need hundreds of threads.
+
+Public API: :class:`FGProgram`, :class:`Pipeline`, :class:`Stage`,
+:class:`Buffer`, :class:`StageContext`.
+"""
+
+from repro.core.buffer import Buffer
+from repro.core.stage import Stage
+from repro.core.pipeline import Pipeline
+from repro.core.context import StageContext
+from repro.core.program import FGProgram
+from repro.core.forkjoin import ForkJoin, add_fork_join
+
+__all__ = ["Buffer", "Stage", "Pipeline", "StageContext", "FGProgram",
+           "ForkJoin", "add_fork_join"]

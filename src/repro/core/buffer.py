@@ -1,0 +1,119 @@
+"""FG buffers: the fixed-size blocks that travel through pipelines.
+
+A buffer corresponds to one block of data transfer (disk block, message
+block), so a pipeline's buffer size typically equals its I/O block size
+(paper, Section II).  Buffers are allocated once per pipeline into a fixed
+pool and recycled from sink to source; they are **tied to their pipeline**
+and may never be conveyed along another one ("buffers cannot jump from one
+pipeline to another", Section IV).
+
+The **caboose** is a special marker buffer that signals end-of-stream: it
+is conveyed after the last data buffer, travels the pipeline in order, and
+tells each stage (and finally the sink) that the pipeline is complete.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.errors import StageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.pipeline import Pipeline
+
+__all__ = ["Buffer"]
+
+
+class Buffer:
+    """One block-sized buffer tied to a pipeline.
+
+    Attributes:
+        data: the backing byte array (``capacity`` bytes, dtype uint8);
+            ``None`` for cabooses.
+        size: number of valid bytes currently in the buffer; stages set it
+            when they fill the buffer.
+        round: emission index assigned by the source (0, 1, 2, ...).
+        tags: free-form per-buffer metadata for stage-to-stage signalling
+            (e.g. which column of the matrix this block holds).
+        aux: optional auxiliary scratch array of equal capacity — the
+            "auxiliary buffer" feature the paper's permute stage uses so
+            permutations need not be in place.
+    """
+
+    __slots__ = ("pipeline", "index", "data", "aux", "size", "round",
+                 "tags", "is_caboose")
+
+    def __init__(self, pipeline: "Pipeline", index: int, capacity: int,
+                 with_aux: bool = False):
+        self.pipeline = pipeline
+        self.index = index
+        self.data: Optional[np.ndarray] = np.zeros(capacity, dtype=np.uint8)
+        self.aux: Optional[np.ndarray] = (
+            np.zeros(capacity, dtype=np.uint8) if with_aux else None)
+        self.size = 0
+        self.round = -1
+        self.tags: dict[str, Any] = {}
+        self.is_caboose = False
+
+    @classmethod
+    def caboose(cls, pipeline: "Pipeline") -> "Buffer":
+        """Create the end-of-stream marker for ``pipeline``."""
+        buf = cls.__new__(cls)
+        buf.pipeline = pipeline
+        buf.index = -1
+        buf.data = None
+        buf.aux = None
+        buf.size = 0
+        buf.round = -1
+        buf.tags = {}
+        buf.is_caboose = True
+        return buf
+
+    # -- typed access helpers -------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Backing capacity in bytes (0 for cabooses)."""
+        return 0 if self.data is None else len(self.data)
+
+    def view(self, dtype: np.dtype) -> np.ndarray:
+        """View the *valid* bytes (``size``) as an array of ``dtype``.
+
+        The valid byte count must be a multiple of the dtype's item size.
+        The view aliases the buffer — mutations write through.
+        """
+        self._check_data("view")
+        itemsize = np.dtype(dtype).itemsize
+        if self.size % itemsize != 0:
+            raise StageError(
+                f"buffer size {self.size} is not a multiple of "
+                f"{np.dtype(dtype)} itemsize {itemsize}")
+        return self.data[:self.size].view(dtype)
+
+    def put(self, array: np.ndarray) -> None:
+        """Copy ``array``'s raw bytes into the buffer and set ``size``."""
+        self._check_data("put")
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        if len(raw) > self.capacity:
+            raise StageError(
+                f"array of {len(raw)} bytes exceeds buffer capacity "
+                f"{self.capacity}")
+        self.data[:len(raw)] = raw
+        self.size = len(raw)
+
+    def clear(self) -> None:
+        """Reset valid size and metadata (data bytes are left as-is)."""
+        self.size = 0
+        self.tags.clear()
+
+    def _check_data(self, op: str) -> None:
+        if self.data is None:
+            raise StageError(f"cannot {op} on a caboose buffer")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_caboose:
+            return f"<Caboose of {self.pipeline.name}>"
+        return (f"<Buffer {self.pipeline.name}#{self.index} "
+                f"round={self.round} size={self.size}/{self.capacity}>")

@@ -1,0 +1,162 @@
+"""Fork-join pipelines, built from FG's intersecting-pipeline primitive.
+
+FG's repertoire includes fork-join structures (the paper's related-work
+section notes that <stxxl>'s pipelining "allows constructs that resemble
+FG's fork-join and intersecting pipelines").  :func:`add_fork_join` wires
+one up from the primitives this library already has:
+
+* a **trunk** pipeline carries buffers through the ``pre`` stages to a
+  framework-provided **fork** stage;
+* the fork routes each buffer's contents to one of several **branch**
+  pipelines (chosen by a user ``route`` function), copying into a buffer
+  of that branch — buffers never jump pipelines;
+* each branch processes its share through its own stages at its own pace
+  (that is the point: an expensive branch does not stall the others);
+* a framework-provided **join** stage — where all branch pipelines
+  intersect the **post** pipeline — reassembles the original round order
+  and feeds the ``post`` stages.
+
+Round-order restoration uses a control channel: the fork records its
+routing decisions in emission order; the join replays them, accepting
+from exactly the branch that holds the next round.  This keeps the join
+deterministic and free of speculative accepts that could block on an
+idle branch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.core.buffer import Buffer
+from repro.core.pipeline import Pipeline
+from repro.core.program import FGProgram
+from repro.core.stage import Stage
+from repro.errors import PipelineStructureError, StageError
+from repro.sim.channel import Channel
+
+__all__ = ["ForkJoin", "add_fork_join"]
+
+_EOS = object()
+
+
+@dataclasses.dataclass
+class ForkJoin:
+    """Handle to an assembled fork-join structure (for inspection)."""
+
+    trunk: Pipeline
+    branches: dict[str, Pipeline]
+    post: Pipeline
+    fork_stage: Stage
+    join_stage: Stage
+
+
+def _copy_buffer(dst: Buffer, src: Buffer, ctx) -> None:
+    """Copy payload + tags between pipelines, charging memcpy if a node
+    service is attached."""
+    dst.clear()
+    dst.data[:src.size] = src.data[:src.size]
+    dst.size = src.size
+    dst.tags.update(src.tags)
+    node = ctx.node
+    if node is not None:
+        node.compute_copy(src.size)
+
+
+def add_fork_join(prog: FGProgram, name: str, *,
+                  pre: Sequence[Stage],
+                  branches: dict[str, Sequence[Stage]],
+                  post: Sequence[Stage],
+                  route: Callable[[Buffer], str],
+                  nbuffers: int, buffer_bytes: int,
+                  rounds: Optional[int],
+                  branch_nbuffers: Optional[int] = None,
+                  branch_buffer_bytes: Optional[int] = None) -> ForkJoin:
+    """Assemble a fork-join into ``prog``.
+
+    ``route(buffer)`` names the branch each trunk buffer's data takes.
+    ``rounds`` follows pipeline semantics (None = some ``pre`` stage
+    declares EOS).  Branch pipelines may use their own pool geometry.
+    """
+    if not branches:
+        raise PipelineStructureError(f"fork-join {name!r} needs branches")
+    if not pre:
+        raise PipelineStructureError(
+            f"fork-join {name!r} needs at least one pre stage (the trunk "
+            "must produce data to route)")
+    branch_nbuffers = branch_nbuffers if branch_nbuffers is not None \
+        else nbuffers
+    branch_buffer_bytes = branch_buffer_bytes \
+        if branch_buffer_bytes is not None else buffer_bytes
+
+    control: Channel = Channel(prog.kernel,
+                               name=f"{name}.fork-order")
+    fork_stage = Stage.source_driven(f"{name}.fork", None)
+    join_stage = Stage.source_driven(f"{name}.join", None)
+
+    trunk = prog.add_pipeline(
+        f"{name}.trunk", list(pre) + [fork_stage],
+        nbuffers=nbuffers, buffer_bytes=buffer_bytes, rounds=rounds)
+
+    branch_pipelines: dict[str, Pipeline] = {}
+    for key, stages in branches.items():
+        branch_pipelines[key] = prog.add_pipeline(
+            f"{name}.branch[{key}]",
+            [fork_stage] + list(stages) + [join_stage],
+            nbuffers=branch_nbuffers,
+            buffer_bytes=branch_buffer_bytes, rounds=None)
+
+    post_pipeline = prog.add_pipeline(
+        f"{name}.post", [join_stage] + list(post),
+        nbuffers=nbuffers, buffer_bytes=buffer_bytes, rounds=None)
+
+    def fork(ctx):
+        while True:
+            buf = ctx.accept(trunk)
+            if buf.is_caboose:
+                for key, pipeline in branch_pipelines.items():
+                    ctx.convey_caboose(pipeline)
+                control.put(_EOS)
+                ctx.forward(buf)
+                return
+            key = route(buf)
+            if key not in branch_pipelines:
+                raise StageError(
+                    f"fork-join {name!r}: route() returned unknown "
+                    f"branch {key!r}; known: {sorted(branch_pipelines)}")
+            branch_buf = ctx.accept(branch_pipelines[key])
+            _copy_buffer(branch_buf, buf, ctx)
+            control.put(key)
+            ctx.convey(branch_buf)
+            ctx.convey(buf)  # trunk buffer recycles via the trunk sink
+
+    def join(ctx):
+        pending_cabooses = dict(branch_pipelines)
+        while True:
+            key = control.get()
+            if key is _EOS:
+                break
+            branch_buf = ctx.accept(branch_pipelines[key])
+            if branch_buf.is_caboose:
+                raise StageError(
+                    f"fork-join {name!r}: branch {key!r} ended before "
+                    "delivering its routed buffer")
+            out = ctx.accept(post_pipeline)
+            _copy_buffer(out, branch_buf, ctx)
+            ctx.convey(branch_buf)  # home to its branch sink
+            ctx.convey(out)
+        # drain the branch cabooses so their pipelines shut down
+        for key, pipeline in pending_cabooses.items():
+            caboose = ctx.accept(pipeline)
+            if not caboose.is_caboose:
+                raise StageError(
+                    f"fork-join {name!r}: branch {key!r} produced an "
+                    "unrouted buffer")
+            ctx.forward(caboose)
+        ctx.convey_caboose(post_pipeline)
+
+    fork_stage.fn = fork
+    join_stage.fn = join
+    return ForkJoin(trunk=trunk, branches=branch_pipelines,
+                    post=post_pipeline, fork_stage=fork_stage,
+                    join_stage=join_stage)

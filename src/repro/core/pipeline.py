@@ -1,0 +1,80 @@
+"""FG pipelines: an ordered chain of stages plus a buffer pool.
+
+A :class:`Pipeline` is pure structure — stages, pool geometry, and the
+round count.  All queues, buffers, and threads are materialized by
+:class:`~repro.core.program.FGProgram` at assembly time, so the same
+pipeline description could be assembled repeatedly (one per pass).
+
+``rounds`` semantics:
+
+* ``rounds=N`` — the source emits exactly N buffers and then the caboose.
+  Used when the number of blocks is known in advance (every csort pass,
+  dsort's read pipelines).
+* ``rounds=None`` — the source emits recycled buffers indefinitely and
+  some stage declares end-of-stream with
+  :meth:`~repro.core.context.StageContext.convey_caboose` (dsort's receive
+  pipelines, whose length depends on what other nodes send).  The sink
+  then tells the source to stop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.stage import Stage
+from repro.errors import PipelineStructureError
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """Description of one pipeline (no runtime state)."""
+
+    def __init__(self, name: str, stages: Sequence[Stage], *,
+                 nbuffers: int, buffer_bytes: int,
+                 rounds: Optional[int] = None,
+                 aux_buffers: bool = False):
+        if not stages:
+            raise PipelineStructureError(
+                f"pipeline {name!r} needs at least one stage")
+        if nbuffers < 1:
+            raise PipelineStructureError(
+                f"pipeline {name!r}: nbuffers must be >= 1, got {nbuffers}")
+        if buffer_bytes < 1:
+            raise PipelineStructureError(
+                f"pipeline {name!r}: buffer_bytes must be >= 1, "
+                f"got {buffer_bytes}")
+        if rounds is not None and rounds < 0:
+            raise PipelineStructureError(
+                f"pipeline {name!r}: rounds must be None or >= 0, "
+                f"got {rounds}")
+        seen = set()
+        for stage in stages:
+            if id(stage) in seen:
+                raise PipelineStructureError(
+                    f"stage {stage.name!r} appears twice in pipeline "
+                    f"{name!r}")
+            seen.add(id(stage))
+        self.name = name
+        self.stages: list[Stage] = list(stages)
+        self.nbuffers = nbuffers
+        self.buffer_bytes = buffer_bytes
+        self.rounds = rounds
+        self.aux_buffers = aux_buffers
+
+    def position_of(self, stage: Stage) -> int:
+        """Index of ``stage`` within this pipeline (0-based)."""
+        for i, s in enumerate(self.stages):
+            if s is stage:
+                return i
+        raise PipelineStructureError(
+            f"stage {stage.name!r} is not in pipeline {self.name!r}")
+
+    def __contains__(self, stage: Stage) -> bool:
+        return any(s is stage for s in self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chain = " -> ".join(s.name for s in self.stages)
+        return (f"<Pipeline {self.name}: source -> {chain} -> sink, "
+                f"{self.nbuffers}x{self.buffer_bytes}B, "
+                f"rounds={self.rounds}>")

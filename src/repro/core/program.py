@@ -1,0 +1,437 @@
+"""FGProgram: pipeline assembly and execution.
+
+This module is FG's "framework generator": given pipeline descriptions, it
+
+1. detects **intersecting** pipelines (a stage object appearing in several
+   pipelines gets one thread and per-pipeline queues),
+2. groups **virtual** stages (one thread + one shared queue per group) and
+   virtualizes the sources/sinks of their pipeline *families*,
+3. materializes buffer pools, inter-stage queues, and the sink-to-source
+   recycling channels, and
+4. spawns one kernel process per thread FG would create, runs them, and
+   joins them.
+
+The source/sink protocol:
+
+* the **source** emits recycled buffers, stamping ``round``; for
+  ``rounds=N`` it emits the caboose after N emissions; for ``rounds=None``
+  it emits until a :class:`~repro.core.virtual.Stop` token arrives on the
+  recycle channel;
+* the **sink** recycles every data buffer back to the source and, on
+  receiving the caboose, sends the Stop token (so unknown-length pipelines
+  shut down cleanly).
+
+Typical use, inside a per-node SPMD main::
+
+    prog = FGProgram(kernel, env={"node": node, "comm": comm})
+    prog.add_pipeline("work", [read, sort, write],
+                      nbuffers=4, buffer_bytes=1 << 20, rounds=16)
+    prog.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.buffer import Buffer
+from repro.core.context import StageContext
+from repro.core.pipeline import Pipeline
+from repro.core.stage import Stage, StageStats
+from repro.core.virtual import Family, Stop, VirtualGroup
+from repro.errors import PipelineStructureError
+from repro.sim.channel import Channel
+from repro.sim.kernel import Kernel, Process
+
+__all__ = ["FGProgram"]
+
+
+class FGProgram:
+    """A set of pipelines assembled and run together on one node."""
+
+    def __init__(self, kernel: Kernel, env: Optional[dict[str, Any]] = None,
+                 name: str = "fg"):
+        self.kernel = kernel
+        self.env: dict[str, Any] = dict(env) if env else {}
+        self.name = name
+        self.pipelines: list[Pipeline] = []
+        self._started = False
+        self._procs: list[Process] = []
+        # materialized at assembly:
+        self._in_q: dict[tuple[int, int], Channel] = {}
+        self._sink_q: dict[int, Channel] = {}
+        self._recycle: dict[int, Channel] = {}
+        self._groups: dict[str, VirtualGroup] = {}
+        self._families: list[Family] = []
+        self._contexts: dict[int, StageContext] = {}
+        self._stage_eos: set[tuple[int, int]] = set()
+        self._buffers: dict[int, list[Buffer]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_pipeline(self, name: str, stages: Sequence[Stage], *,
+                     nbuffers: int, buffer_bytes: int,
+                     rounds: Optional[int] = None,
+                     aux_buffers: bool = False) -> Pipeline:
+        """Describe a pipeline; FG adds the source and sink itself."""
+        if self._started:
+            raise PipelineStructureError(
+                "cannot add pipelines after the program started")
+        pipeline = Pipeline(name, stages, nbuffers=nbuffers,
+                            buffer_bytes=buffer_bytes, rounds=rounds,
+                            aux_buffers=aux_buffers)
+        self.pipelines.append(pipeline)
+        return pipeline
+
+    # -- queue lookups (used by StageContext) -----------------------------------------
+
+    def in_queue(self, pipeline: Pipeline, stage: Stage) -> Channel:
+        """The queue feeding ``stage`` within ``pipeline``."""
+        return self._in_q[(id(pipeline), id(stage))]
+
+    def out_queue(self, pipeline: Pipeline, stage: Stage) -> Channel:
+        """The queue ``stage`` conveys into within ``pipeline``."""
+        pos = pipeline.position_of(stage)
+        if pos + 1 < len(pipeline.stages):
+            nxt = pipeline.stages[pos + 1]
+            return self._in_q[(id(pipeline), id(nxt))]
+        return self._sink_q[id(pipeline)]
+
+    def mark_stage_eos(self, pipeline: Pipeline, stage: Stage) -> None:
+        """Record that ``stage`` declared end-of-stream on ``pipeline``
+        (virtual-group dispatch drops that pipeline's later buffers)."""
+        self._stage_eos.add((id(pipeline), id(stage)))
+
+    def buffers_of(self, pipeline: Pipeline) -> list[Buffer]:
+        """The buffer pool materialized for ``pipeline``."""
+        return self._buffers[id(pipeline)]
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def _unique_stages(self) -> list[Stage]:
+        seen: dict[int, Stage] = {}
+        for p in self.pipelines:
+            for s in p.stages:
+                seen.setdefault(id(s), s)
+        return list(seen.values())
+
+    def _pipelines_of(self, stage: Stage) -> list[Pipeline]:
+        return [p for p in self.pipelines if stage in p]
+
+    def _validate_and_group(self) -> None:
+        self._groups = {}
+        for p in self.pipelines:
+            group_keys_here: set[str] = set()
+            for s in p.stages:
+                if not s.virtual:
+                    continue
+                if s.virtual_group in group_keys_here:
+                    raise PipelineStructureError(
+                        f"virtual group {s.virtual_group!r} appears twice "
+                        f"in pipeline {p.name!r}")
+                group_keys_here.add(s.virtual_group)
+                group = self._groups.setdefault(
+                    s.virtual_group, VirtualGroup(key=s.virtual_group))
+                group.members.append((p, s))
+        for stage in self._unique_stages():
+            owners = self._pipelines_of(stage)
+            if stage.virtual and len(owners) > 1:
+                raise PipelineStructureError(
+                    f"virtual stage {stage.name!r} appears in several "
+                    "pipelines; create one member instance per pipeline "
+                    "with the same virtual_group instead")
+            if (not stage.virtual and stage.style == "map"
+                    and len(owners) > 1):
+                raise PipelineStructureError(
+                    f"map-style stage {stage.name!r} is shared by "
+                    f"{len(owners)} pipelines; intersecting stages must be "
+                    "full-control (Stage.source_driven)")
+
+    def _compute_families(self) -> None:
+        """Union-find over pipelines linked by virtual groups."""
+        parent: dict[int, int] = {id(p): id(p) for p in self.pipelines}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for group in self._groups.values():
+            pipes = group.pipelines
+            for other in pipes[1:]:
+                union(id(pipes[0]), id(other))
+        by_id = {id(p): p for p in self.pipelines}
+        virtual_pids = {id(p) for g in self._groups.values()
+                        for p in g.pipelines}
+        roots: dict[int, Family] = {}
+        self._families = []
+        for pid in virtual_pids:
+            root = find(pid)
+            family = roots.get(root)
+            if family is None:
+                family = Family()
+                roots[root] = family
+                self._families.append(family)
+            family.pipelines.append(by_id[pid])
+
+    def _family_of(self, pipeline: Pipeline) -> Optional[Family]:
+        for family in self._families:
+            if any(p is pipeline for p in family.pipelines):
+                return family
+        return None
+
+    def _assemble(self) -> None:
+        if not self.pipelines:
+            raise PipelineStructureError("program has no pipelines")
+        self._validate_and_group()
+        self._compute_families()
+        # shared queues for virtual groups
+        for group in self._groups.values():
+            group.shared_queue = Channel(
+                self.kernel, name=f"{self.name}.vgroup[{group.key}].in")
+        # per-family shared sink queue and recycle channel
+        for i, family in enumerate(self._families):
+            family.sink_queue = Channel(
+                self.kernel, name=f"{self.name}.family{i}.sink")
+            family.recycle = Channel(
+                self.kernel, name=f"{self.name}.family{i}.recycle")
+        # per-pipeline plumbing
+        for p in self.pipelines:
+            family = self._family_of(p)
+            for s in p.stages:
+                if s.virtual:
+                    queue = self._groups[s.virtual_group].shared_queue
+                else:
+                    queue = Channel(
+                        self.kernel,
+                        name=f"{self.name}.{p.name}->{s.name}")
+                self._in_q[(id(p), id(s))] = queue
+            if family is not None:
+                self._sink_q[id(p)] = family.sink_queue
+                self._recycle[id(p)] = family.recycle
+            else:
+                self._sink_q[id(p)] = Channel(
+                    self.kernel, name=f"{self.name}.{p.name}->sink")
+                self._recycle[id(p)] = Channel(
+                    self.kernel, name=f"{self.name}.{p.name}.recycle")
+            pool = [Buffer(p, i, p.buffer_bytes, with_aux=p.aux_buffers)
+                    for i in range(p.nbuffers)]
+            self._buffers[id(p)] = pool
+            # Recycle channels are unbounded, so pre-filling never blocks.
+            for buf in pool:
+                self._recycle[id(p)].put(buf)
+        # contexts for non-virtual stages
+        for stage in self._unique_stages():
+            if stage.virtual:
+                continue
+            self._contexts[id(stage)] = StageContext(
+                self, stage, self._pipelines_of(stage))
+        # per-member contexts for virtual groups
+        for group in self._groups.values():
+            for p, s in group.members:
+                group.contexts[id(p)] = StageContext(self, s, [p])
+
+    # -- runner loops -------------------------------------------------------------------
+
+    def _run_source(self, p: Pipeline) -> None:
+        recycle = self._recycle[id(p)]
+        first = self._in_q[(id(p), id(p.stages[0]))]
+        emitted = 0
+        while p.rounds is None or emitted < p.rounds:
+            item = recycle.get()
+            if isinstance(item, Stop):
+                return
+            item.clear()
+            item.round = emitted
+            first.put(item)
+            emitted += 1
+        first.put(Buffer.caboose(p))
+
+    def _run_sink(self, p: Pipeline) -> None:
+        sink_q = self._sink_q[id(p)]
+        recycle = self._recycle[id(p)]
+        while True:
+            buf = sink_q.get()
+            if buf.is_caboose:
+                recycle.put(Stop(p))
+                return
+            recycle.put(buf)
+
+    def _run_source_group(self, family: Family) -> None:
+        recycle = family.recycle
+        pending: dict[int, Pipeline] = {id(p): p for p in family.pipelines}
+        emitted: dict[int, int] = {id(p): 0 for p in family.pipelines}
+        for p in list(family.pipelines):
+            if p.rounds == 0:
+                self._in_q[(id(p), id(p.stages[0]))].put(Buffer.caboose(p))
+                pending.pop(id(p))
+        while pending:
+            item = recycle.get()
+            if isinstance(item, Stop):
+                pending.pop(id(item.pipeline), None)
+                continue
+            p = item.pipeline
+            pid = id(p)
+            if pid not in pending:
+                continue  # stale buffer of an already-finished pipeline
+            item.clear()
+            item.round = emitted[pid]
+            first = self._in_q[(pid, id(p.stages[0]))]
+            first.put(item)
+            emitted[pid] += 1
+            if p.rounds is not None and emitted[pid] == p.rounds:
+                first.put(Buffer.caboose(p))
+                pending.pop(pid)
+
+    def _run_sink_group(self, family: Family) -> None:
+        remaining = {id(p) for p in family.pipelines}
+        while remaining:
+            buf = family.sink_queue.get()
+            if buf.is_caboose:
+                family.recycle.put(Stop(buf.pipeline))
+                remaining.discard(id(buf.pipeline))
+            else:
+                family.recycle.put(buf)
+
+    def _run_map_stage(self, stage: Stage, ctx: StageContext) -> None:
+        stage.stats.started_at = self.kernel.now()
+        try:
+            while True:
+                buf = ctx.accept()
+                if buf.is_caboose:
+                    ctx.forward(buf)
+                    return
+                out = stage.fn(ctx, buf)
+                if out is not None:
+                    ctx.convey(out)
+        finally:
+            stage.stats.finished_at = self.kernel.now()
+
+    def _run_full_stage(self, stage: Stage, ctx: StageContext) -> None:
+        stage.stats.started_at = self.kernel.now()
+        try:
+            stage.fn(ctx)
+        finally:
+            stage.stats.finished_at = self.kernel.now()
+
+    def _run_virtual_group(self, group: VirtualGroup) -> None:
+        live = {id(p) for p in group.pipelines}
+        for _, s in group.members:
+            s.stats.started_at = self.kernel.now()
+        try:
+            while live:
+                buf = group.shared_queue.get()
+                pid = id(buf.pipeline)
+                if pid not in live:
+                    continue  # buffer raced past this pipeline's shutdown
+                stage = group.member_stage(pid)
+                ctx = group.contexts[pid]
+                if buf.is_caboose:
+                    self.out_queue(buf.pipeline, stage).put(buf)
+                    live.discard(pid)
+                    continue
+                if (pid, id(stage)) in self._stage_eos:
+                    continue  # member declared EOS itself; drop stragglers
+                stage.stats.accepts += 1
+                out = stage.fn(ctx, buf)
+                if out is not None:
+                    ctx.convey(out)
+                if (pid, id(stage)) in self._stage_eos:
+                    live.discard(pid)
+        finally:
+            now = self.kernel.now()
+            for _, s in group.members:
+                s.stats.finished_at = now
+
+    # -- execution ------------------------------------------------------------------------
+
+    def start(self) -> list[Process]:
+        """Assemble and spawn every FG thread; returns the processes."""
+        if self._started:
+            raise PipelineStructureError("program already started")
+        self._started = True
+        self._assemble()
+        procs: list[Process] = []
+        spawned_sources: set[int] = set()
+        for p in self.pipelines:
+            family = self._family_of(p)
+            if family is None:
+                procs.append(self.kernel.spawn(
+                    self._run_source, p, name=f"{self.name}.{p.name}.source"))
+                procs.append(self.kernel.spawn(
+                    self._run_sink, p, name=f"{self.name}.{p.name}.sink"))
+        for i, family in enumerate(self._families):
+            procs.append(self.kernel.spawn(
+                self._run_source_group, family,
+                name=f"{self.name}.family{i}.source"))
+            procs.append(self.kernel.spawn(
+                self._run_sink_group, family,
+                name=f"{self.name}.family{i}.sink"))
+        for group in self._groups.values():
+            procs.append(self.kernel.spawn(
+                self._run_virtual_group, group,
+                name=f"{self.name}.vgroup[{group.key}]"))
+        for stage in self._unique_stages():
+            if stage.virtual:
+                continue
+            ctx = self._contexts[id(stage)]
+            runner = (self._run_map_stage if stage.style == "map"
+                      else self._run_full_stage)
+            procs.append(self.kernel.spawn(
+                runner, stage, ctx, name=f"{self.name}.{stage.name}"))
+        self._procs = procs
+        return procs
+
+    def wait(self) -> None:
+        """Join every FG process (call from inside a kernel process)."""
+        for proc in self._procs:
+            proc.join()
+
+    def run(self) -> None:
+        """``start()`` + ``wait()`` — the usual way to execute a program."""
+        self.start()
+        self.wait()
+
+    # -- introspection -------------------------------------------------------------------------
+
+    @property
+    def thread_count(self) -> int:
+        """Number of FG threads (processes) this program spawned —
+        the quantity Figure 5(b)'s virtual stages reduce from Θ(k) to Θ(1)."""
+        return len(self._procs)
+
+    def stage_stats(self) -> dict[str, StageStats]:
+        """Per-stage statistics, keyed by stage name."""
+        return {s.name: s.stats for s in self._unique_stages()}
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        """Memory held by every pipeline's buffer pool (aux included) —
+        the quantity the paper promises "fits within the physical RAM"
+        because pools are small and fixed."""
+        total = 0
+        for p in self.pipelines:
+            per_buffer = p.buffer_bytes * (2 if p.aux_buffers else 1)
+            total += p.nbuffers * per_buffer
+        return total
+
+    def report(self) -> str:
+        """Text summary of per-stage activity after a run."""
+        lines = [f"FG program {self.name!r}: "
+                 f"{len(self.pipelines)} pipeline(s), "
+                 f"{self.thread_count} thread(s), "
+                 f"{self.total_buffer_bytes} buffer byte(s)"]
+        header = (f"{'stage':24s} {'accepts':>8s} {'conveys':>8s} "
+                  f"{'wait(s)':>10s} {'busy(s)':>10s}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, stats in self.stage_stats().items():
+            lines.append(f"{name:24s} {stats.accepts:8d} "
+                         f"{stats.conveys:8d} {stats.accept_wait:10.4f} "
+                         f"{stats.busy:10.4f}")
+        return "\n".join(lines)

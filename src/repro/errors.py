@@ -1,0 +1,123 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so user
+code can catch library failures with a single ``except`` clause.  The
+sub-hierarchies mirror the package layout: kernel/scheduling errors, cluster
+and communication errors, FG pipeline errors, and sorting/verification
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel errors
+# ---------------------------------------------------------------------------
+
+
+class KernelError(ReproError):
+    """Base class for execution-kernel errors."""
+
+
+class DeadlockError(KernelError):
+    """All live processes are blocked and no timed event is pending.
+
+    The message lists every blocked process together with what it is
+    waiting on, which is usually enough to diagnose a mis-assembled
+    pipeline (e.g. a stage accepting from a queue nothing conveys into).
+    """
+
+
+class KernelShutdown(KernelError):
+    """Raised inside parked processes when the kernel aborts.
+
+    This exception unwinds stage/user code during an abort; user code
+    should never catch-and-swallow it.
+    """
+
+
+class KernelStateError(KernelError):
+    """A kernel primitive was used from an invalid context.
+
+    Examples: calling a blocking primitive from a thread that is not a
+    kernel process, running a kernel twice, or spawning onto a finished
+    kernel.
+    """
+
+
+class ProcessFailed(KernelError):
+    """A kernel process raised an exception; wraps the original."""
+
+    def __init__(self, process_name: str, original: BaseException):
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.process_name = process_name
+        self.original = original
+
+
+class ChannelClosed(KernelError):
+    """A ``get``/``put`` was attempted on a closed channel with no data."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster / communication errors
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-hardware and communication errors."""
+
+
+class CommError(ClusterError):
+    """Error in the MPI-like message layer (bad rank, tag, size, ...)."""
+
+
+class DiskError(ClusterError):
+    """Error in the simulated-disk layer (bad block address, size, ...)."""
+
+
+class StorageError(ClusterError):
+    """Error in a storage backend (missing block, backend closed, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# FG (core framework) errors
+# ---------------------------------------------------------------------------
+
+
+class FGError(ReproError):
+    """Base class for FG pipeline-assembly and runtime errors."""
+
+
+class PipelineStructureError(FGError):
+    """A pipeline was assembled illegally.
+
+    Examples: a stage appearing twice in one pipeline, virtual stages with
+    mismatched roles, or conveying a buffer into a pipeline the buffer is
+    not tied to (the paper: "buffers cannot jump from one pipeline to
+    another").
+    """
+
+
+class StageError(FGError):
+    """A stage misused its context (accept after caboose, bad convey, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Sorting / verification errors
+# ---------------------------------------------------------------------------
+
+
+class SortError(ReproError):
+    """Base class for sorting-algorithm configuration errors."""
+
+
+class ColumnsortShapeError(SortError):
+    """The matrix shape violates columnsort's r >= 2*(s-1)**2 requirement."""
+
+
+class VerificationError(ReproError):
+    """An output failed a correctness check (sortedness, multiset, stripe)."""

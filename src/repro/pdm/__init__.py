@@ -1,0 +1,14 @@
+"""Parallel Disk Model file layer: records, block files, striped files.
+
+The sorting programs move fixed-size **records** (a sort key plus payload),
+stored in **block files** on per-node disks and, for final output, in a
+**striped file** whose fixed-size blocks are assigned round-robin to the
+cluster's disks — the ordering defined by the Parallel Disk Model, which
+both dsort and csort produce (paper, Section V).
+"""
+
+from repro.pdm.records import RecordSchema
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.striped import StripedFile
+
+__all__ = ["RecordSchema", "RecordFile", "StripedFile"]

@@ -1,0 +1,178 @@
+"""Bounded FIFO channels, generic over both kernels.
+
+A :class:`Channel` is the synchronization object underlying every FG buffer
+queue (the queues drawn between stages in the paper's Figure 2) and the
+recycling path from sink back to source.  Semantics:
+
+* ``put`` blocks while the channel holds ``capacity`` items (``capacity=0``
+  gives rendezvous semantics; ``capacity=None`` is unbounded);
+* ``get`` blocks while the channel is empty;
+* both ends are FIFO-fair, which the virtual-time kernel relies on for
+  determinism;
+* ``close`` wakes all blocked parties with :class:`ChannelClosed`; a closed
+  channel drains remaining items to getters before raising.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, Optional, TypeVar
+
+from repro.errors import ChannelClosed
+from repro.sim.kernel import Kernel, Process
+
+__all__ = ["Channel"]
+
+T = TypeVar("T")
+
+_ITEM = "item"
+_CLOSED = "closed"
+
+
+class Channel(Generic[T]):
+    """A FIFO queue that blocks kernel processes, not OS threads directly."""
+
+    def __init__(self, kernel: Kernel, capacity: Optional[int] = None,
+                 name: str = "channel"):
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be None or >= 0")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._buf: deque[T] = deque()
+        self._getq: deque[Process] = deque()
+        self._putq: deque[tuple[Process, T]] = deque()
+        self._closed = False
+        #: total items ever delivered through this channel (stats)
+        self.delivered = 0
+
+    # -- queries (racy by nature; fine under the cooperative kernel) -------
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- blocking operations -------------------------------------------------
+
+    def put(self, item: T) -> None:
+        """Append ``item``, blocking while the channel is full."""
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if self._closed:
+            kernel.mutex.release()
+            raise ChannelClosed(f"put on closed channel {self.name!r}")
+        if self._getq:
+            getter = self._getq.popleft()
+            self.delivered += 1
+            kernel.make_ready(getter, (_ITEM, item))
+            kernel.mutex.release()
+            return
+        if self.capacity is None or len(self._buf) < self.capacity:
+            self._buf.append(item)
+            kernel.mutex.release()
+            return
+        me = kernel.current_process()
+        self._putq.append((me, item))
+        outcome = kernel.block_current(locked=True,
+                                       reason=f"put -> {self.name}")
+        if outcome == _CLOSED:
+            raise ChannelClosed(f"channel {self.name!r} closed while putting")
+
+    def get(self) -> T:
+        """Remove and return the oldest item, blocking while empty."""
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if self._buf:
+            item = self._buf.popleft()
+            self.delivered += 1
+            if self._putq:
+                putter, pending = self._putq.popleft()
+                self._buf.append(pending)
+                kernel.make_ready(putter, _ITEM)
+            kernel.mutex.release()
+            return item
+        if self._putq:  # capacity == 0 rendezvous
+            putter, pending = self._putq.popleft()
+            self.delivered += 1
+            kernel.make_ready(putter, _ITEM)
+            kernel.mutex.release()
+            return pending
+        if self._closed:
+            kernel.mutex.release()
+            raise ChannelClosed(f"get on closed, empty channel {self.name!r}")
+        me = kernel.current_process()
+        self._getq.append(me)
+        kind, payload = kernel.block_current(locked=True,
+                                             reason=f"get <- {self.name}")
+        if kind == _CLOSED:
+            raise ChannelClosed(f"channel {self.name!r} closed while getting")
+        return payload
+
+    # -- non-blocking operations ------------------------------------------------
+
+    def try_get(self) -> tuple[bool, Optional[T]]:
+        """Return ``(True, item)`` if an item was available, else ``(False, None)``."""
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if self._buf:
+            item = self._buf.popleft()
+            self.delivered += 1
+            if self._putq:
+                putter, pending = self._putq.popleft()
+                self._buf.append(pending)
+                kernel.make_ready(putter, _ITEM)
+            kernel.mutex.release()
+            return True, item
+        if self._putq:
+            putter, pending = self._putq.popleft()
+            self.delivered += 1
+            kernel.make_ready(putter, _ITEM)
+            kernel.mutex.release()
+            return True, pending
+        kernel.mutex.release()
+        return False, None
+
+    def try_put(self, item: T) -> bool:
+        """Append ``item`` if it would not block; return success."""
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if self._closed:
+            kernel.mutex.release()
+            raise ChannelClosed(f"put on closed channel {self.name!r}")
+        if self._getq:
+            getter = self._getq.popleft()
+            self.delivered += 1
+            kernel.make_ready(getter, (_ITEM, item))
+            kernel.mutex.release()
+            return True
+        if self.capacity is None or len(self._buf) < self.capacity:
+            self._buf.append(item)
+            kernel.mutex.release()
+            return True
+        kernel.mutex.release()
+        return False
+
+    # -- shutdown ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the channel, waking every blocked getter and putter.
+
+        Items already buffered remain retrievable via ``get``; once the
+        buffer drains, further ``get`` calls raise :class:`ChannelClosed`.
+        """
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if self._closed:
+            kernel.mutex.release()
+            return
+        self._closed = True
+        getters, self._getq = self._getq, deque()
+        putters, self._putq = self._putq, deque()
+        for getter in getters:
+            kernel.make_ready(getter, (_CLOSED, None))
+        for putter, _pending in putters:
+            kernel.make_ready(putter, _CLOSED)
+        kernel.mutex.release()

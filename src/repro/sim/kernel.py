@@ -1,0 +1,260 @@
+"""Abstract execution kernel: processes, parking, and the scheduling contract.
+
+A :class:`Kernel` runs a set of :class:`Process` objects, each of which wraps
+a plain Python callable executing in its own OS thread.  Processes interact
+with the kernel only through blocking primitives:
+
+* :meth:`Kernel.sleep` — consume (simulated or real) time;
+* :meth:`Kernel.block_current` / :meth:`Kernel.make_ready` — park the calling
+  process on a wait queue until another process wakes it (used by channels
+  and resources);
+* :meth:`Process.join` — wait for another process to finish.
+
+The two concrete kernels (:class:`~repro.sim.virtual.VirtualTimeKernel` and
+:class:`~repro.sim.realtime.RealTimeKernel`) implement the same contract, so
+synchronization objects (channels, resources) are written once against this
+interface.
+
+Thread-safety contract: every primitive that inspects or mutates shared
+kernel state does so while holding :attr:`Kernel.mutex`.  Synchronization
+objects acquire the mutex themselves and call ``block_current(locked=True)``
+while holding it; the kernel releases the mutex while the process is parked
+and re-acquires nothing on resume (wakers transfer any data before waking).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    KernelShutdown,
+    KernelStateError,
+    ProcessFailed,
+)
+
+__all__ = ["Kernel", "Process", "ProcessState"]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a kernel process."""
+
+    NEW = "new"          #: created, thread not started yet
+    READY = "ready"      #: eligible to run (virtual-time kernel only)
+    RUNNING = "running"  #: currently executing user code
+    BLOCKED = "blocked"  #: parked on a wait queue or timed event
+    DONE = "done"        #: target returned normally
+    FAILED = "failed"    #: target raised
+
+
+class Process:
+    """A schedulable unit: one user callable running in one thread.
+
+    Processes are created with :meth:`Kernel.spawn`; user code never
+    instantiates this class directly.  After the kernel finishes,
+    :attr:`result` holds the callable's return value (or :attr:`exception`
+    the exception that terminated it).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, kernel: "Kernel", target: Callable[..., Any],
+                 args: tuple, kwargs: dict, name: Optional[str]):
+        self.kernel = kernel
+        self.target = target
+        self.args = args
+        self.kwargs = kwargs
+        self.pid = next(Process._ids)
+        self.name = name if name is not None else f"proc-{self.pid}"
+        self.state = ProcessState.NEW
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        #: human-readable description of what the process is blocked on;
+        #: surfaced in deadlock reports.
+        self.waiting_on: Optional[str] = None
+        #: one-slot mailbox used by wakers to hand data to a parked process
+        #: (e.g. a channel item) before making it ready.
+        self.wake_value: Any = None
+        self._resume_event = threading.Event()
+        self._joiners: list[Process] = []
+        self._thread: Optional[threading.Thread] = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has not finished (normally or by error)."""
+        return self.state not in (ProcessState.DONE, ProcessState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} pid={self.pid} state={self.state.value}>"
+
+    # -- blocking API (callable from inside kernel processes) -------------
+
+    def join(self) -> Any:
+        """Block the calling process until this process finishes.
+
+        Returns the target's return value.  Raises :class:`ProcessFailed`
+        if the joined process terminated with an exception.
+        """
+        kernel = self.kernel
+        me = kernel.current_process()
+        kernel.mutex.acquire()
+        if self.alive:
+            self._joiners.append(me)
+            # block_current releases the mutex (locking contract).
+            kernel.block_current(locked=True, reason=f"join({self.name})")
+        else:
+            kernel.mutex.release()
+        if self.exception is not None:
+            raise ProcessFailed(self.name, self.exception)
+        return self.result
+
+
+class Kernel:
+    """Base class implementing process bookkeeping shared by both kernels."""
+
+    def __init__(self) -> None:
+        #: global kernel mutex; see module docstring for the locking contract.
+        self.mutex = threading.Lock()
+        self._processes: list[Process] = []
+        self._live = 0
+        self._started = False
+        self._finished = False
+        self._aborting = False
+        self._failure: Optional[ProcessFailed] = None
+        self._tls = threading.local()
+
+    # -- clock -------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current time in seconds (simulated or wall-clock)."""
+        raise NotImplementedError
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, target: Callable[..., Any], *args: Any,
+              name: Optional[str] = None, **kwargs: Any) -> Process:
+        """Create a new process running ``target(*args, **kwargs)``.
+
+        May be called before :meth:`run` (to set up root processes) or from
+        inside a running process (dynamic spawning, e.g. FG assembling the
+        pipelines of a later pass).
+        """
+        if self._finished:
+            raise KernelStateError("cannot spawn onto a finished kernel")
+        proc = Process(self, target, args, kwargs, name)
+        with self.mutex:
+            self._processes.append(proc)
+            self._live += 1
+            if self._started:
+                self._start_process_locked(proc)
+        return proc
+
+    def current_process(self) -> Process:
+        """Return the process bound to the calling thread.
+
+        Raises :class:`KernelStateError` when called from a thread that is
+        not a kernel process (e.g. the main test thread).
+        """
+        proc = getattr(self._tls, "process", None)
+        if proc is None:
+            raise KernelStateError(
+                "this primitive may only be used from inside a kernel process")
+        return proc
+
+    def in_process(self) -> bool:
+        """True when the calling thread is a kernel process."""
+        return getattr(self._tls, "process", None) is not None
+
+    @property
+    def processes(self) -> list[Process]:
+        """All processes ever spawned on this kernel (snapshot copy)."""
+        with self.mutex:
+            return list(self._processes)
+
+    # -- blocking primitives (implemented by subclasses) --------------------
+
+    def sleep(self, duration: float) -> None:
+        """Consume ``duration`` seconds of kernel time."""
+        raise NotImplementedError
+
+    def block_current(self, *, locked: bool, reason: str = "") -> Any:
+        """Park the calling process until another process wakes it.
+
+        ``locked`` must be True and the caller must hold :attr:`mutex`; the
+        kernel releases the mutex while parked.  Returns the process's
+        :attr:`Process.wake_value` (set by the waker) and clears it.
+        """
+        raise NotImplementedError
+
+    def make_ready(self, proc: Process, wake_value: Any = None) -> None:
+        """Wake a parked process.  Caller must hold :attr:`mutex`."""
+        raise NotImplementedError
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run all spawned processes to completion.
+
+        Raises :class:`ProcessFailed` (wrapping the first failure) if any
+        process raised, and :class:`~repro.errors.DeadlockError` if the
+        virtual-time kernel detects that all live processes are blocked with
+        no pending timed event.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers for subclasses ---------------------------------------
+
+    def _start_process_locked(self, proc: Process) -> None:
+        """Start the OS thread backing ``proc``.  Mutex held by caller."""
+        thread = threading.Thread(target=self._bootstrap, args=(proc,),
+                                  name=f"repro-{proc.name}", daemon=True)
+        proc._thread = thread
+        self._prepare_new_process_locked(proc)
+        thread.start()
+
+    def _prepare_new_process_locked(self, proc: Process) -> None:
+        """Hook: subclass bookkeeping before a process thread starts."""
+
+    def _bootstrap(self, proc: Process) -> None:
+        """Thread entry point: bind TLS, wait for admission, run target."""
+        self._tls.process = proc
+        try:
+            self._admit(proc)
+            proc.state = ProcessState.RUNNING
+            proc.result = proc.target(*proc.args, **proc.kwargs)
+            proc.state = ProcessState.DONE
+        except KernelShutdown:
+            proc.state = ProcessState.FAILED
+            proc.exception = None  # shutdown is not a user failure
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            proc.state = ProcessState.FAILED
+            proc.exception = exc
+        finally:
+            self._retire(proc)
+
+    def _admit(self, proc: Process) -> None:
+        """Hook: block until the scheduler admits this new process."""
+
+    def _retire(self, proc: Process) -> None:
+        """Hook: bookkeeping when a process finishes; wake joiners, pick next."""
+        raise NotImplementedError
+
+    def _wake_joiners_locked(self, proc: Process) -> None:
+        for joiner in proc._joiners:
+            self.make_ready(joiner)
+        proc._joiners.clear()
+
+    def _record_failure_locked(self, proc: Process) -> None:
+        if proc.exception is not None and self._failure is None:
+            self._failure = ProcessFailed(proc.name, proc.exception)
+
+    @staticmethod
+    def _describe_blocked(procs: Iterable[Process]) -> str:
+        lines = []
+        for p in procs:
+            lines.append(f"  - {p.name}: waiting on {p.waiting_on or '?'}")
+        return "\n".join(lines)

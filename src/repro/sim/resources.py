@@ -1,0 +1,123 @@
+"""Counted resources with FIFO fairness and utilization accounting.
+
+A :class:`Resource` models a piece of hardware with bounded parallelism: a
+disk arm (capacity 1), a NIC (capacity 1 per direction), a node's CPU cores
+(capacity = core count).  Holding a unit while sleeping for a modeled
+service time is how cost models charge for contention::
+
+    with disk_arm.request():
+        kernel.sleep(seek + nbytes / bandwidth)
+
+Fairness is strict FIFO with head-of-line blocking: a large request at the
+head of the queue is never overtaken by a smaller one behind it.  This
+matches how a single disk arm or link serializes transfers and keeps the
+virtual-time kernel deterministic.
+
+Utilization accounting integrates ``in_use`` over time, so after a run
+``resource.utilization(total_time)`` reports the busy fraction — the raw
+material for the per-pass analyses in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from typing import Iterator
+
+from repro.sim.kernel import Kernel, Process
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A counted resource acquired and released by kernel processes."""
+
+    def __init__(self, kernel: Kernel, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._available = capacity
+        self._waiters: deque[tuple[Process, int]] = deque()
+        # time-weighted busy accounting
+        self._busy_integral = 0.0
+        self._last_change = kernel.now()
+        #: total completed acquisitions (stats)
+        self.acquisitions = 0
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._available
+
+    def busy_time(self) -> float:
+        """Unit-seconds of busy time integrated so far (one unit busy for
+        one second contributes 1.0)."""
+        now = self.kernel.now()
+        return self._busy_integral + self.in_use * (now - self._last_change)
+
+    def utilization(self, elapsed: float) -> float:
+        """Average busy fraction of the whole resource over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time() / (self.capacity * elapsed)
+
+    def _account_locked(self) -> None:
+        now = self.kernel.now()
+        self._busy_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    # -- acquire / release ----------------------------------------------------------
+
+    def acquire(self, units: int = 1) -> None:
+        """Take ``units`` of the resource, blocking until available (FIFO)."""
+        if units < 1 or units > self.capacity:
+            raise ValueError(
+                f"cannot acquire {units} units of {self.name!r} "
+                f"(capacity {self.capacity})")
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if not self._waiters and self._available >= units:
+            self._account_locked()
+            self._available -= units
+            self.acquisitions += 1
+            kernel.mutex.release()
+            return
+        me = kernel.current_process()
+        self._waiters.append((me, units))
+        kernel.block_current(locked=True,
+                             reason=f"acquire {units}x {self.name}")
+        # The releaser already performed the accounting and the decrement
+        # on our behalf before waking us.
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` to the resource and admit queued waiters in order."""
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        if self._available + units > self.capacity:
+            kernel.mutex.release()
+            raise ValueError(
+                f"release overflows {self.name!r}: "
+                f"{self._available} + {units} > capacity {self.capacity}")
+        self._account_locked()
+        self._available += units
+        while self._waiters and self._available >= self._waiters[0][1]:
+            proc, need = self._waiters.popleft()
+            self._available -= need
+            self.acquisitions += 1
+            kernel.make_ready(proc)
+        kernel.mutex.release()
+
+    @contextlib.contextmanager
+    def request(self, units: int = 1) -> Iterator[None]:
+        """``with resource.request(): ...`` — acquire/release bracket."""
+        self.acquire(units)
+        try:
+            yield
+        finally:
+            self.release(units)

@@ -1,0 +1,244 @@
+"""Deterministic virtual-time kernel.
+
+The central idea (see DESIGN.md): FG stages must be writable as plain
+blocking Python functions — that is the programming model the paper sells —
+yet a pure-Python reproduction cannot measure latency overlap with real
+threads because of the GIL.  This kernel squares that circle by running each
+process in a real OS thread while enforcing **cooperative, token-passing
+scheduling**: exactly one thread executes at any moment, every blocking
+primitive hands the "run token" to the scheduler, and the scheduler advances
+a simulated clock to the earliest pending timed event.  Reported times are
+therefore exact consequences of the configured cost models; the GIL only
+affects how long the simulation takes to execute, never what it reports.
+
+Determinism: the ready queue is FIFO, timed events are ordered by
+``(time, sequence-number)``, wakers never signal threads directly (they move
+processes to the ready queue under the kernel mutex), and the single run
+token serializes everything.  Two runs of the same program with the same
+seeds produce identical event timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import DeadlockError, KernelShutdown, KernelStateError
+from repro.sim.kernel import Kernel, Process, ProcessState
+from repro.sim.trace import FINISH, PARK, RESUME, SPAWN, Tracer
+
+__all__ = ["VirtualTimeKernel"]
+
+
+class VirtualTimeKernel(Kernel):
+    """Cooperative scheduler over a simulated clock.
+
+    Typical use::
+
+        kernel = VirtualTimeKernel()
+        kernel.spawn(node_main, 0)
+        kernel.spawn(node_main, 1)
+        kernel.run()           # raises on failure or deadlock
+        elapsed = kernel.now() # simulated seconds
+    """
+
+    def __init__(self, tracer: Optional["Tracer"] = None) -> None:
+        super().__init__()
+        self._now = 0.0
+        self._ready: deque[Process] = deque()
+        self._heap: list[tuple[float, int, Process]] = []
+        self._seq = itertools.count()
+        self._main_event = threading.Event()
+        self._all_dead = threading.Event()
+        #: number of context switches performed (exposed for tests/stats)
+        self.switches = 0
+        #: optional execution tracer (see :mod:`repro.sim.trace`)
+        self.tracer = tracer
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._now
+
+    # -- blocking primitives ---------------------------------------------------
+
+    def sleep(self, duration: float) -> None:
+        """Advance this process ``duration`` simulated seconds.
+
+        Other ready processes run during the interval — this is how latency
+        overlap happens.  ``duration`` may be zero (yields the token while
+        keeping the process at the front of the timeline).
+        """
+        if duration < 0:
+            raise ValueError(f"negative sleep duration: {duration}")
+        me = self.current_process()
+        self.mutex.acquire()
+        me.state = ProcessState.BLOCKED
+        me.waiting_on = f"sleep until t={self._now + duration:.9g}"
+        heapq.heappush(self._heap, (self._now + duration, next(self._seq), me))
+        self._park_and_handoff_locked(me)
+
+    def block_current(self, *, locked: bool, reason: str = "") -> Any:
+        if not locked:
+            raise KernelStateError("block_current requires the kernel mutex")
+        me = self.current_process()
+        me.state = ProcessState.BLOCKED
+        me.waiting_on = reason
+        self._park_and_handoff_locked(me)
+        value, me.wake_value = me.wake_value, None
+        return value
+
+    def make_ready(self, proc: Process, wake_value: Any = None) -> None:
+        if not proc.alive:
+            # only reachable during abort unwinding, when a dying process's
+            # cleanup (e.g. a resource release in a finally block) wakes a
+            # waiter that already unwound; never resurrect it
+            return
+        proc.wake_value = wake_value
+        proc.state = ProcessState.READY
+        proc.waiting_on = None
+        self._ready.append(proc)
+
+    # -- scheduling core -------------------------------------------------------
+
+    def _pick_locked(self) -> Optional[Process]:
+        if self._ready:
+            return self._ready.popleft()
+        if self._heap:
+            t, _, proc = heapq.heappop(self._heap)
+            # The clock never moves backwards: events are scheduled at
+            # now+duration with duration >= 0.
+            self._now = t
+            return proc
+        return None
+
+    def _park_and_handoff_locked(self, me: Process) -> None:
+        """Hand the run token to the next process and wait to be resumed.
+
+        Caller holds the mutex and has already registered ``me`` wherever it
+        waits (event heap, a channel wait queue, ...).  Releases the mutex.
+        """
+        me._resume_event.clear()
+        self.switches += 1
+        if self.tracer is not None:
+            self.tracer.record(self._now, me.name, PARK,
+                               me.waiting_on or "")
+        nxt = self._pick_locked()
+        self.mutex.release()
+        if nxt is None:
+            self._main_event.set()
+        else:
+            nxt._resume_event.set()
+        me._resume_event.wait()
+        if self._aborting:
+            raise KernelShutdown()
+        me.state = ProcessState.RUNNING
+        me.waiting_on = None
+        if self.tracer is not None:
+            self.tracer.record(self._now, me.name, RESUME)
+
+    def _handoff_locked_and_exit(self) -> None:
+        """Hand the token onward without waiting (terminating process)."""
+        nxt = self._pick_locked()
+        self.mutex.release()
+        if nxt is None:
+            self._main_event.set()
+        else:
+            nxt._resume_event.set()
+
+    # -- process lifecycle hooks ------------------------------------------------
+
+    def _prepare_new_process_locked(self, proc: Process) -> None:
+        # Newly spawned processes join the ready queue; their thread parks
+        # in _admit until the scheduler grants them the token.
+        proc.state = ProcessState.READY
+        self._ready.append(proc)
+        if self.tracer is not None:
+            self.tracer.record(self._now, proc.name, SPAWN)
+
+    def _admit(self, proc: Process) -> None:
+        proc._resume_event.wait()
+        if self._aborting:
+            raise KernelShutdown()
+        if self.tracer is not None:
+            self.tracer.record(self._now, proc.name, RESUME)
+
+    def _retire(self, proc: Process) -> None:
+        self.mutex.acquire()
+        if self.tracer is not None:
+            self.tracer.record(self._now, proc.name, FINISH)
+        self._live -= 1
+        live = self._live
+        self._record_failure_locked(proc)
+        if self._aborting:
+            # Abort in progress: the main thread owns scheduling; just
+            # report death and exit.
+            self.mutex.release()
+            if live == 0:
+                self._all_dead.set()
+            return
+        self._wake_joiners_locked(proc)
+        if proc.exception is not None:
+            # Stop the world promptly: return the token to the main thread,
+            # which will abort every parked process.
+            self.mutex.release()
+            self._main_event.set()
+            return
+        self._handoff_locked_and_exit()
+
+    # -- run loop ------------------------------------------------------------------
+
+    def run(self) -> None:
+        if self._started:
+            raise KernelStateError("kernel already ran")
+        if self.in_process():
+            raise KernelStateError("run() may not be called from a process")
+        self._started = True
+        with self.mutex:
+            for proc in self._processes:
+                if proc.state is ProcessState.NEW:
+                    self._start_process_locked(proc)
+        while True:
+            self.mutex.acquire()
+            if self._failure is not None:
+                self._abort_locked()  # releases mutex
+                self._finished = True
+                raise self._failure
+            if self._live == 0:
+                self.mutex.release()
+                self._finished = True
+                return
+            self._main_event.clear()
+            nxt = self._pick_locked()
+            if nxt is None:
+                blocked = [p for p in self._processes if p.alive]
+                message = ("deadlock: all live processes are blocked and no "
+                           "timed event is pending\n"
+                           + self._describe_blocked(blocked))
+                self._abort_locked()  # releases mutex
+                self._finished = True
+                raise DeadlockError(message)
+            self.mutex.release()
+            nxt._resume_event.set()
+            self._main_event.wait()
+
+    def _abort_locked(self) -> None:
+        """Unwind every parked process.  Caller holds the mutex; released."""
+        self._aborting = True
+        if self._live == 0:
+            self._all_dead.set()
+        parked = [p for p in self._processes
+                  if p.alive and p._thread is not None]
+        self.mutex.release()
+        for proc in parked:
+            proc._resume_event.set()
+        # Parked processes raise KernelShutdown, unwind, and _retire; the
+        # last one sets _all_dead.
+        if parked:
+            self._all_dead.wait()
+        for proc in parked:
+            if proc._thread is not None:
+                proc._thread.join()

@@ -1,0 +1,22 @@
+"""Out-of-core sorting on FG: dsort, csort, merging, verification.
+
+This package implements both programs the paper evaluates:
+
+* :mod:`repro.sorting.dsort` — the two-pass, distribution-based sort built
+  on FG's multiple disjoint and intersecting pipelines (Section V);
+* :mod:`repro.sorting.columnsort` — the three-pass columnsort-based
+  baseline ("csort", Section III), which uses a single linear pipeline per
+  node and only balanced communication;
+
+plus the shared substrates:
+
+* :mod:`repro.sorting.merge` — incremental k-way merging of sorted blocks
+  (the compute core of dsort's merge stage);
+* :mod:`repro.sorting.verify` — output checkers (sortedness, multiset
+  equality, payload integrity, PDM striping).
+"""
+
+from repro.sorting.merge import BlockMerger
+from repro.sorting.verify import verify_striped_output
+
+__all__ = ["BlockMerger", "verify_striped_output"]

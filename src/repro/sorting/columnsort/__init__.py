@@ -1,0 +1,33 @@
+"""csort: the out-of-core columnsort baseline (paper, Section III).
+
+Columnsort (Leighton) sorts an r x s matrix (r >= 2(s-1)^2) into
+column-major order in eight steps: odd steps sort every column, even steps
+apply fixed permutations (transpose, untranspose, half-column shift and
+unshift).  The three-pass out-of-core implementation groups steps as
+1-2 / 3-4 / 5-8, runs one linear FG pipeline per node per pass, and uses
+only *balanced* communication — its defining contrast with dsort.
+
+* :mod:`.steps` — the pure mathematics: shape planning, the step
+  permutations, fragment-layout index maps, and an in-memory reference
+  columnsort used to validate everything;
+* :mod:`.csort` — the FG implementation with per-pass timing.
+"""
+
+from repro.sorting.columnsort.steps import (
+    ColumnsortPlan,
+    plan_columnsort,
+    reference_columnsort,
+)
+from repro.sorting.columnsort.csort import CsortConfig, CsortReport, run_csort
+from repro.sorting.columnsort.csort4 import Csort4Report, run_csort4
+
+__all__ = [
+    "ColumnsortPlan",
+    "plan_columnsort",
+    "reference_columnsort",
+    "CsortConfig",
+    "CsortReport",
+    "run_csort",
+    "Csort4Report",
+    "run_csort4",
+]

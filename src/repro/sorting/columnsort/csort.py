@@ -1,0 +1,400 @@
+"""csort: three-pass out-of-core columnsort on single linear FG pipelines.
+
+Pass structure (paper, Section III, Figure 3): each pass runs ONE linear
+pipeline per node — csort never needs FG's multi-pipeline extensions
+because all of its communication is balanced and predetermined:
+
+* **pass 1** (steps 1-2): ``read -> sort -> communicate -> write``; the
+  communicate stage does a balanced ``alltoallv`` routing each sorted
+  column's transpose pieces and assembles the received pieces into one
+  contiguous r-record block ("fragmented column" layout);
+* **pass 2** (steps 3-4): identical shape with the untranspose routing;
+* **pass 3** (steps 5-8): ``read -> sort -> shift -> sort -> stripe ->
+  write``; the shift stage exchanges sorted half-columns with the
+  neighboring column's owner (matched Send/Recv pairs of equal size), the
+  second sort realizes step 7, and the stripe stage performs one more
+  balanced exchange that deals the final sorted segments into PDM striped
+  blocks.
+
+Column ownership is round-robin (column j on node j % P), which makes the
+half-column shift flow forward across same-numbered rounds instead of
+serializing the cluster.
+
+Intermediate columns are stored *fragmented*: each round writes one
+contiguous r-record block, and each column is read back as s/P contiguous
+chunks.  The records within an intermediate column arrive unordered —
+harmless, because the next pass's first act is to sort the column (the
+odd columnsort steps), so only the multiset routed to each column matters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.mpi import Comm
+from repro.cluster.node import Node
+from repro.core import FGProgram, Stage
+from repro.errors import ColumnsortShapeError, SortError
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.sorting.columnsort.steps import (
+    ColumnsortPlan,
+    plan_columnsort,
+    validate_shape,
+)
+
+__all__ = ["CsortConfig", "CsortReport", "run_csort"]
+
+TAG_SHIFT = 31
+TAG_STRIPE = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class CsortConfig:
+    """Tuning knobs for csort."""
+
+    #: records per output stripe block; must satisfy P * block <= r
+    out_block_records: int = 4096
+    #: buffers per pipeline
+    nbuffers: int = 4
+    input_file: str = "input"
+    output_file: str = "output"
+    #: intermediate file names (deleted afterwards when cleanup is set)
+    temp1_file: str = "csort-L1"
+    temp2_file: str = "csort-L2"
+    cleanup_temps: bool = True
+    #: force a specific column count instead of the planner's choice
+    s_override: Optional[int] = None
+
+    def __post_init__(self):
+        if self.out_block_records < 1:
+            raise SortError("out_block_records must be >= 1")
+        if self.nbuffers < 1:
+            raise SortError("nbuffers must be >= 1")
+
+
+@dataclasses.dataclass
+class CsortReport:
+    """Per-node result of one csort execution (times in kernel seconds)."""
+
+    rank: int
+    pass1_time: float
+    pass2_time: float
+    pass3_time: float
+    plan: ColumnsortPlan
+
+    @property
+    def total_time(self) -> float:
+        return self.pass1_time + self.pass2_time + self.pass3_time
+
+
+def _chunk_for_dest(matrix_pieces: np.ndarray, dest: int, P: int,
+                    spp: int) -> np.ndarray:
+    """Group pieces for one destination node, ordered by its local round."""
+    # matrix_pieces has shape (s, frag) with row j = piece for column j
+    return np.ascontiguousarray(matrix_pieces[dest::P]).reshape(-1)
+
+
+def _build_permute_pass(prog: FGProgram, node: Node, comm: Comm,
+                        schema: RecordSchema, plan: ColumnsortPlan,
+                        in_file: str, in_fragmented: bool, out_file: str,
+                        routing: str, nbuffers: int, name: str) -> None:
+    """One of the two permutation passes (steps 1-2 or 3-4)."""
+    P = comm.size
+    r, s = plan.r, plan.s
+    spp = plan.cols_per_node
+    frag = plan.frag_records
+    rec_bytes = schema.record_bytes
+    rf_in = RecordFile(node.disk, in_file, schema)
+    rf_out = RecordFile(node.disk, out_file, schema)
+    tag = 41 if routing == "transpose" else 42
+
+    def read(ctx, buf):
+        t = buf.round
+        if in_fragmented:
+            # column j = t*P + rank, as s/P contiguous chunks
+            parts = [rf_in.read(tp * r + t * (P * frag), P * frag)
+                     for tp in range(spp)]
+            column = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        else:
+            column = rf_in.read(t * r, r)
+        buf.put(column)
+        buf.tags["column"] = t * P + comm.rank
+        return buf
+
+    def sort(ctx, buf):
+        records = buf.view(schema.dtype)
+        node.compute_sort(len(records))
+        buf.put(schema.sort(records))
+        return buf
+
+    def communicate(ctx, buf):
+        records = buf.view(schema.dtype)
+        column = buf.tags["column"]
+        if routing == "transpose":
+            # row i -> column i % s: piece for column j is records[j::s]
+            pieces = np.ascontiguousarray(
+                records.reshape(r // s, s).T)        # (s, frag)
+        else:
+            # row i -> column (i*s + c) // r: contiguous slices
+            starts = [max(0, (j * r - column + s - 1) // s)
+                      for j in range(s)] + [r]
+            pieces = np.stack([records[starts[j]:starts[j + 1]]
+                               for j in range(s)])   # (s, frag)
+        node.compute_copy(records.nbytes)
+        chunks = [_chunk_for_dest(pieces, dest, P, spp)
+                  for dest in range(P)]
+        received = comm.alltoall(chunks)
+        # assemble the round block: [my column j_local][sender n][frag]
+        stacked = np.stack([c.reshape(spp, frag) for c in received],
+                           axis=1)                   # (spp, P, frag)
+        node.compute_copy(records.nbytes)
+        buf.put(stacked.reshape(-1))
+        return buf
+
+    def write(ctx, buf):
+        rf_out.write(buf.round * r, buf.view(schema.dtype))
+        return buf
+
+    prog.add_pipeline(
+        name,
+        [Stage.map("read", read), Stage.map("sort", sort),
+         Stage.map("communicate", communicate), Stage.map("write", write)],
+        nbuffers=nbuffers, buffer_bytes=r * rec_bytes, rounds=spp,
+        aux_buffers=True)
+
+
+def _build_pass3(prog: FGProgram, node: Node, comm: Comm,
+                 schema: RecordSchema, plan: ColumnsortPlan, in_file: str,
+                 out_file: str, block_records: int, nbuffers: int) -> None:
+    """Steps 5-8 plus striping, in one linear pipeline."""
+    P = comm.size
+    r, s = plan.r, plan.s
+    spp = plan.cols_per_node
+    frag = plan.frag_records
+    half = r // 2
+    B = block_records
+    rec_bytes = schema.record_bytes
+    rf_in = RecordFile(node.disk, in_file, schema)
+    out_local = RecordFile(node.disk, out_file, schema)
+    state: dict = {}
+
+    def read(ctx, buf):
+        t = buf.round
+        if t == spp:
+            buf.clear()
+            buf.tags["final"] = True
+            return buf
+        parts = [rf_in.read(tp * r + t * (P * frag), P * frag)
+                 for tp in range(spp)]
+        column = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        buf.put(column)
+        buf.tags["column"] = t * P + comm.rank
+        return buf
+
+    def sort5(ctx, buf):
+        if buf.tags.get("final"):
+            return buf
+        records = buf.view(schema.dtype)
+        node.compute_sort(len(records))
+        buf.put(schema.sort(records))
+        return buf
+
+    def shift(ctx):
+        """Step 6: form shifted column c from bottom(c-1) + top(c)."""
+        while True:
+            buf = ctx.accept()
+            if buf.is_caboose:
+                ctx.forward(buf)
+                return
+            if buf.tags.get("final"):
+                # the extra round: only the owner of column s-1 holds the
+                # pending bottom half, which becomes the final segment
+                bottom = state.pop("pending_bottom", None)
+                if bottom is not None:
+                    buf.put(bottom)
+                    buf.tags["g0"] = s * r - half
+                ctx.convey(buf)
+                continue
+            column = buf.tags["column"]
+            records = buf.view(schema.dtype)
+            top = records[:half].copy()
+            bottom = records[half:].copy()
+            if column + 1 < s:
+                comm.send((column + 1) % P, bottom, tag=TAG_SHIFT)
+            else:
+                state["pending_bottom"] = bottom  # used in the final round
+            if column == 0:
+                # shifted column 0 = [-inf*half, top]; the -infs drop out
+                buf.put(top)
+                buf.tags["g0"] = 0
+            else:
+                _, prev_bottom = comm.recv(source=(column - 1) % P,
+                                           tag=TAG_SHIFT)
+                node.compute_copy(prev_bottom.nbytes + top.nbytes)
+                buf.put(np.concatenate([prev_bottom, top]))
+                buf.tags["g0"] = column * r - half
+            ctx.convey(buf)
+
+    def sort7(ctx, buf):
+        if buf.size == 0:
+            return buf
+        records = buf.view(schema.dtype)
+        node.compute_sort(len(records))
+        buf.put(schema.sort(records))
+        return buf
+
+    def stripe(ctx):
+        """Balanced exchange dealing sorted segments into striped blocks.
+
+        Every node sends exactly one (possibly empty) message to every
+        node per round and receives exactly P, so the stage stays
+        balanced and deterministic even though block ownership is
+        round-robin.
+        """
+        while True:
+            buf = ctx.accept()
+            if buf.is_caboose:
+                ctx.forward(buf)
+                return
+            records = (buf.view(schema.dtype) if buf.size else
+                       schema.empty(0))
+            g0 = buf.tags.get("g0", 0)
+            length = len(records)
+            # split [g0, g0+length) into per-owner block-aligned groups;
+            # an owner's blocks are every P-th, so its group is contiguous
+            # in its local file
+            groups: list[list] = [[] for _ in range(P)]
+            metas: list[Optional[dict]] = [None] * P
+            if length:
+                first_block = g0 // B
+                last_block = (g0 + length - 1) // B
+                for gb in range(first_block, last_block + 1):
+                    lo = max(gb * B, g0)
+                    hi = min((gb + 1) * B, g0 + length)
+                    owner = gb % P
+                    groups[owner].append(records[lo - g0:hi - g0])
+                    if metas[owner] is None:
+                        metas[owner] = {"gb": gb, "off": lo - gb * B}
+            for dest in range(P):
+                payload = (np.concatenate(groups[dest]) if groups[dest]
+                           else schema.empty(0))
+                comm.send(dest, payload, tag=TAG_STRIPE, meta=metas[dest])
+            buf.clear()
+            placements = []
+            fill = 0
+            target = buf.data[:].view(schema.dtype)
+            for _ in range(P):
+                msg = comm.recv_msg(tag=TAG_STRIPE)
+                if len(msg.payload) == 0:
+                    continue
+                node.compute_copy(msg.payload.nbytes)
+                target[fill:fill + len(msg.payload)] = msg.payload
+                placements.append((msg.meta["gb"], msg.meta["off"],
+                                   fill, len(msg.payload)))
+                fill += len(msg.payload)
+            buf.size = fill * rec_bytes
+            buf.tags["placements"] = placements
+            ctx.convey(buf)
+
+    def write(ctx, buf):
+        if buf.size == 0:
+            return buf
+        records = buf.view(schema.dtype)
+        for gb, off, start, count in buf.tags["placements"]:
+            local_start = (gb // P) * B + off
+            out_local.write(local_start, records[start:start + count])
+        return buf
+
+    prog.add_pipeline(
+        "pass3",
+        [Stage.map("read", read), Stage.map("sort5", sort5),
+         Stage.source_driven("shift", shift), Stage.map("sort7", sort7),
+         Stage.source_driven("stripe", stripe), Stage.map("write", write)],
+        nbuffers=nbuffers, buffer_bytes=2 * r * rec_bytes, rounds=spp + 1)
+
+
+def run_csort(node: Node, comm: Comm, schema: RecordSchema,
+              config: Optional[CsortConfig] = None) -> CsortReport:
+    """Sort the cluster's ``input`` files into striped ``output`` (SPMD)."""
+    if config is None:
+        config = CsortConfig()
+    kernel = node.kernel
+    P = comm.size
+
+    rf_in = RecordFile(node.disk, config.input_file, schema)
+    n_local = rf_in.n_records
+    totals = comm.allgather(n_local)
+    if len(set(totals)) != 1:
+        raise ColumnsortShapeError(
+            f"csort needs evenly distributed input; per-node sizes "
+            f"{totals}")
+    n_total = sum(totals)
+    if config.s_override is not None:
+        s = config.s_override
+        if n_total % s != 0:
+            raise ColumnsortShapeError(
+                f"s_override {s} does not divide N = {n_total}")
+        r = n_total // s
+        validate_shape(n_total, r, s, P)
+        plan = ColumnsortPlan(n_total, r, s, P)
+    else:
+        plan = plan_columnsort(n_total, P)
+    if config.out_block_records * P > plan.r:
+        raise ColumnsortShapeError(
+            f"stripe block of {config.out_block_records} records needs "
+            f"P*block <= r = {plan.r} so each round's exchange stays "
+            "single-group per owner")
+
+    # size the output file up front (every node's striped share)
+    my_blocks = [b for b in range(-(-n_total // config.out_block_records))
+                 if b % P == comm.rank]
+    my_records = sum(min(config.out_block_records,
+                         n_total - b * config.out_block_records)
+                     for b in my_blocks)
+    RecordFile(node.disk, config.output_file, schema).delete()
+    node.disk.storage.truncate(config.output_file,
+                               my_records * schema.record_bytes)
+
+    comm.barrier()
+    t0 = kernel.now()
+
+    prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
+                      name=f"csort-p1@{comm.rank}")
+    _build_permute_pass(prog1, node, comm, schema, plan,
+                        in_file=config.input_file, in_fragmented=False,
+                        out_file=config.temp1_file, routing="transpose",
+                        nbuffers=config.nbuffers, name="pass1")
+    prog1.run()
+    comm.barrier()
+    t1 = kernel.now()
+
+    prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
+                      name=f"csort-p2@{comm.rank}")
+    _build_permute_pass(prog2, node, comm, schema, plan,
+                        in_file=config.temp1_file, in_fragmented=True,
+                        out_file=config.temp2_file, routing="untranspose",
+                        nbuffers=config.nbuffers, name="pass2")
+    prog2.run()
+    comm.barrier()
+    t2 = kernel.now()
+
+    prog3 = FGProgram(kernel, env={"node": node, "comm": comm},
+                      name=f"csort-p3@{comm.rank}")
+    _build_pass3(prog3, node, comm, schema, plan,
+                 in_file=config.temp2_file, out_file=config.output_file,
+                 block_records=config.out_block_records,
+                 nbuffers=config.nbuffers)
+    prog3.run()
+    comm.barrier()
+    t3 = kernel.now()
+
+    if config.cleanup_temps:
+        node.disk.delete(config.temp1_file)
+        node.disk.delete(config.temp2_file)
+
+    return CsortReport(rank=comm.rank, pass1_time=t1 - t0,
+                       pass2_time=t2 - t1, pass3_time=t3 - t2, plan=plan)

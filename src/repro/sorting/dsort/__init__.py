@@ -1,0 +1,43 @@
+"""dsort: the out-of-core, distribution-based sort (paper, Section V).
+
+Three phases:
+
+1. **sampling** (:mod:`.sampling`) — oversampled splitter selection with
+   extended keys, so even all-equal inputs partition evenly;
+2. **pass 1** (:mod:`.pass1`) — partition + distribute, using disjoint
+   send/receive FG pipelines per node (Figure 6); each node ends with
+   sorted runs on its disk;
+3. **pass 2** (:mod:`.pass2`) — merge + load-balance + stripe, using
+   virtual vertical pipelines intersecting a merge stage, plus disjoint
+   send/receive pipelines (Figure 7).
+
+:func:`repro.sorting.dsort.dsort.run_dsort` orchestrates all three and
+returns per-phase timings; :mod:`.linear` is the single-linear-pipeline
+ablation the paper's Section VIII proposes.
+"""
+
+from repro.sorting.dsort.dsort import DsortConfig, DsortReport, run_dsort
+from repro.sorting.dsort.sampling import (
+    Splitters,
+    partition_ids,
+    select_splitters,
+)
+from repro.sorting.dsort.linear import run_dsort_linear
+from repro.sorting.dsort.nowsort import (
+    NowSortReport,
+    run_nowsort,
+    uniform_splitters,
+)
+
+__all__ = [
+    "DsortConfig",
+    "DsortReport",
+    "run_dsort",
+    "run_dsort_linear",
+    "NowSortReport",
+    "run_nowsort",
+    "uniform_splitters",
+    "Splitters",
+    "partition_ids",
+    "select_splitters",
+]

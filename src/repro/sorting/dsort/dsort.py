@@ -1,0 +1,146 @@
+"""dsort driver: sampling, pass 1, pass 2, with per-phase timing.
+
+:func:`run_dsort` is an SPMD per-node main — launch it with
+``Cluster.run`` (or spawn it per rank yourself).  Barriers separate the
+phases so the per-phase durations reported by every rank agree, matching
+how the paper's Figure 8 stacks per-pass times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.cluster.mpi import Comm
+from repro.cluster.node import Node
+from repro.core import FGProgram
+from repro.errors import SortError
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.sorting.dsort.pass1 import build_pass1
+from repro.sorting.dsort.pass2 import build_pass2
+from repro.sorting.dsort.sampling import select_splitters
+
+__all__ = ["DsortConfig", "DsortReport", "run_dsort"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DsortConfig:
+    """Tuning knobs for dsort (defaults sized for simulation-scale runs)."""
+
+    #: records per pass-1 buffer; also the size of each sorted run
+    block_records: int = 4096
+    #: records per vertical-pipeline buffer in pass 2 (small, many runs)
+    vertical_block_records: int = 1024
+    #: records per output stripe block (and per horizontal buffer)
+    out_block_records: int = 4096
+    #: buffers per pipeline
+    nbuffers: int = 4
+    #: samples per node = oversample * P
+    oversample: int = 32
+    input_file: str = "input"
+    output_file: str = "output"
+    #: prefix for intermediate run files
+    run_prefix: str = "dsort-run"
+    #: delete run files after pass 2 (untimed cleanup)
+    cleanup_runs: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        for field in ("block_records", "vertical_block_records",
+                      "out_block_records", "nbuffers", "oversample"):
+            if getattr(self, field) < 1:
+                raise SortError(f"{field} must be >= 1")
+
+
+@dataclasses.dataclass
+class DsortReport:
+    """Per-node result of one dsort execution (times in kernel seconds)."""
+
+    rank: int
+    sampling_time: float
+    pass1_time: float
+    pass2_time: float
+    #: records this node held between the passes (its partition size)
+    partition_records: int
+    #: number of sorted runs merged in pass 2
+    n_runs: int
+
+    @property
+    def total_time(self) -> float:
+        return self.sampling_time + self.pass1_time + self.pass2_time
+
+
+def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
+              config: Optional[DsortConfig] = None) -> DsortReport:
+    """Sort the cluster's ``input`` files into striped ``output`` (SPMD)."""
+    if config is None:
+        config = DsortConfig()
+    kernel = node.kernel
+
+    comm.barrier()
+    t0 = kernel.now()
+
+    # Phase 0: splitter selection by oversampling.
+    splitters = select_splitters(node, comm, schema, config.input_file,
+                                 oversample=config.oversample,
+                                 seed=config.seed)
+    comm.barrier()
+    t1 = kernel.now()
+
+    # Pass 1: partition + distribute -> sorted runs on every node.
+    state: dict = {}
+    prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
+                      name=f"dsort-p1@{comm.rank}")
+    build_pass1(prog1, node, comm, schema, splitters,
+                input_file=config.input_file, run_prefix=config.run_prefix,
+                block_records=config.block_records,
+                nbuffers=config.nbuffers, state=state)
+    prog1.run()
+    comm.barrier()
+    t2 = kernel.now()
+
+    # Pass 2: merge runs, load-balance, stripe the output.
+    runs = state.get("runs", [])
+    local_total = sum(n for _, n in runs)
+    totals = comm.allgather(local_total)
+    start_global = sum(totals[:comm.rank])
+    # (re)create the output file at its exact final local size
+    my_records = _striped_share(sum(totals), config.out_block_records,
+                                comm.size, comm.rank)
+    out_rf = RecordFile(node.disk, config.output_file, schema)
+    out_rf.delete()
+    node.disk.storage.truncate(config.output_file,
+                               my_records * schema.record_bytes)
+    prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
+                      name=f"dsort-p2@{comm.rank}")
+    build_pass2(prog2, node, comm, schema, runs, start_global,
+                output_file=config.output_file,
+                vertical_block_records=config.vertical_block_records,
+                out_block_records=config.out_block_records,
+                nbuffers=config.nbuffers)
+    prog2.run()
+    comm.barrier()
+    t3 = kernel.now()
+
+    if config.cleanup_runs:
+        for run_name, _ in runs:
+            node.disk.delete(run_name)
+
+    return DsortReport(rank=comm.rank,
+                       sampling_time=t1 - t0,
+                       pass1_time=t2 - t1,
+                       pass2_time=t3 - t2,
+                       partition_records=local_total,
+                       n_runs=len(runs))
+
+
+def _striped_share(total_records: int, block_records: int, n_nodes: int,
+                   rank: int) -> int:
+    """Records node ``rank`` holds of a PDM-striped file."""
+    total_blocks = math.ceil(total_records / block_records)
+    share = 0
+    for block in range(rank, total_blocks, n_nodes):
+        share += min(block_records, total_records - block * block_records)
+    return share

@@ -1,0 +1,160 @@
+"""dsort pass 1: partitioning and distribution (paper, Figure 6).
+
+Each node runs two disjoint FG pipelines:
+
+* **send pipeline** (``read -> permute -> send``, rounds known): reads a
+  block of the local input, rearranges it so records of the same partition
+  are contiguous (using splitters + extended keys), and doles each
+  partition's records out to its target node;
+* **receive pipeline** (``receive -> sort -> write``, rounds unknown):
+  packs incoming records into pipeline buffers, sorts each full buffer,
+  and writes it to disk — each written buffer is one **sorted run**.
+
+The two pipelines progress at different rates because the number of
+records a node sends almost never equals the number it receives — the
+unbalanced communication that motivated FG's disjoint-pipeline extension.
+
+End-of-stream: after its caboose, every send stage sends one empty message
+to every node; a receive stage that has collected all P end markers (and
+drained leftovers) conveys its own caboose.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.mpi import Comm
+from repro.cluster.node import Node
+from repro.core import FGProgram, Stage
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.sorting.dsort.sampling import Splitters, partition_ids
+
+__all__ = ["build_pass1", "TAG_PASS1"]
+
+#: message tag for pass-1 record traffic (empty payload = end marker)
+TAG_PASS1 = 11
+
+
+def build_pass1(prog: FGProgram, node: Node, comm: Comm,
+                schema: RecordSchema, splitters: Splitters,
+                input_file: str, run_prefix: str,
+                block_records: int, nbuffers: int,
+                state: dict) -> None:
+    """Add pass-1's send and receive pipelines to ``prog``.
+
+    ``state`` collects per-node results: ``state['runs']`` becomes the
+    list of ``(file name, record count)`` sorted runs written locally.
+    """
+    P = comm.size
+    rec_bytes = schema.record_bytes
+    rf_in = RecordFile(node.disk, input_file, schema)
+    n_local = rf_in.n_records
+    n_blocks = math.ceil(n_local / block_records)
+    hw = node.hardware
+    state.setdefault("runs", [])
+    state.setdefault("next_run", 0)
+
+    # -- send pipeline ----------------------------------------------------
+
+    def read(ctx, buf):
+        start = buf.round * block_records
+        count = min(block_records, n_local - start)
+        buf.put(rf_in.read(start, count))
+        buf.tags["start"] = start
+        return buf
+
+    def permute(ctx, buf):
+        records = buf.view(schema.dtype)
+        start = buf.tags["start"]
+        positions = np.arange(start, start + len(records), dtype=np.int64)
+        part = partition_ids(records["key"], comm.rank, positions,
+                             splitters)
+        order = np.argsort(part, kind="stable")
+        # partitioning ~ binary search per record + out-of-place permute
+        node.compute(hw.sort_cost_per_key_log * len(records)
+                     * max(1.0, math.log2(P))
+                     + hw.copy_time(records.nbytes))
+        buf.put(records[order])
+        buf.tags["counts"] = np.bincount(part, minlength=P)
+        return buf
+
+    def send(ctx):
+        while True:
+            buf = ctx.accept()
+            if buf.is_caboose:
+                break
+            records = buf.view(schema.dtype)
+            counts = buf.tags["counts"]
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for dest in range(P):
+                lo, hi = int(offsets[dest]), int(offsets[dest + 1])
+                if hi > lo:
+                    comm.send(dest, records[lo:hi].copy(), tag=TAG_PASS1)
+            ctx.convey(buf)
+        for dest in range(P):
+            comm.send(dest, schema.empty(0), tag=TAG_PASS1)  # end marker
+        ctx.forward(buf)
+
+    prog.add_pipeline(
+        "send",
+        [Stage.map("read", read), Stage.map("permute", permute),
+         Stage.source_driven("send", send)],
+        nbuffers=nbuffers, buffer_bytes=block_records * rec_bytes,
+        rounds=n_blocks, aux_buffers=True)
+
+    # -- receive pipeline ---------------------------------------------------------
+
+    def receive(ctx):
+        pipeline = ctx.pipelines[0]
+        ends = 0
+        leftover = None
+        while True:
+            parts = []
+            have = 0
+            if leftover is not None:
+                parts.append(leftover)
+                have = len(leftover)
+                leftover = None
+            while have < block_records and ends < P:
+                _, payload = comm.recv(tag=TAG_PASS1)
+                if len(payload) == 0:
+                    ends += 1
+                    continue
+                parts.append(payload)
+                have += len(payload)
+            if have == 0:
+                break
+            records = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            take = min(block_records, len(records))
+            leftover = records[take:] if take < len(records) else None
+            buf = ctx.accept()
+            node.compute_copy(take * rec_bytes)  # pack into pipeline buffer
+            buf.put(records[:take])
+            ctx.convey(buf)
+            if ends == P and leftover is None:
+                break
+        ctx.convey_caboose(pipeline)
+
+    def sort(ctx, buf):
+        records = buf.view(schema.dtype)
+        node.compute_sort(len(records))
+        buf.put(schema.sort(records))
+        return buf
+
+    def write(ctx, buf):
+        records = buf.view(schema.dtype)
+        run_name = f"{run_prefix}.{state['next_run']}"
+        state["next_run"] += 1
+        RecordFile(node.disk, run_name, schema).write(0, records)
+        state["runs"].append((run_name, len(records)))
+        return buf
+
+    prog.add_pipeline(
+        "recv",
+        [Stage.source_driven("receive", receive), Stage.map("sort", sort),
+         Stage.map("write", write)],
+        nbuffers=nbuffers, buffer_bytes=block_records * rec_bytes,
+        rounds=None, aux_buffers=True)

@@ -1,0 +1,184 @@
+"""dsort pass 2: merging, load-balancing, and striping (paper, Figure 7).
+
+Per node, four kinds of pipelines cooperate:
+
+* **vertical pipelines**, one per sorted run, whose (virtual) read stages
+  feed run blocks into the merge stage — hundreds of runs cost O(1)
+  threads thanks to virtual stages;
+* the **merge stage**, where the vertical pipelines intersect the
+  horizontal one: it fills large, stripe-block-aligned output buffers by
+  k-way merging;
+* the **horizontal send pipeline**: each merged buffer covers exactly one
+  global output block (possibly partially, at the ends of this node's
+  merged range), and is sent to the block's round-robin owner;
+* a disjoint **receive pipeline** that accepts blocks this node owns and
+  writes them at the proper striped offsets.
+
+Load balancing is implicit: the merged streams of the P nodes concatenate
+into the global sorted order, and PDM striping deals the blocks of that
+order round-robin across nodes regardless of how unbalanced the partition
+sizes were.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.mpi import Comm
+from repro.cluster.node import Node
+from repro.core import FGProgram, Stage
+from repro.errors import SortError
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.sorting.merge import BlockMerger
+
+__all__ = ["build_pass2", "TAG_PASS2"]
+
+#: message tag for pass-2 block traffic (empty payload = end marker)
+TAG_PASS2 = 12
+
+
+def build_pass2(prog: FGProgram, node: Node, comm: Comm,
+                schema: RecordSchema, runs: list[tuple[str, int]],
+                start_global: int, output_file: str,
+                vertical_block_records: int, out_block_records: int,
+                nbuffers: int) -> None:
+    """Add pass-2's vertical, horizontal, and receive pipelines to ``prog``.
+
+    ``runs`` lists this node's sorted runs from pass 1; ``start_global``
+    is the global rank of this node's smallest record (exclusive prefix
+    sum of per-node totals).
+    """
+    P = comm.size
+    rec_bytes = schema.record_bytes
+    vB = vertical_block_records
+    outB = out_block_records
+
+    # -- vertical pipelines (virtual read stages) ---------------------------
+
+    merge_stage = Stage.source_driven("merge", None)  # fn bound below
+    verticals = []
+    for i, (run_name, n_run) in enumerate(runs):
+        if n_run <= 0:
+            raise SortError(f"run {run_name!r} is empty")
+        run_file = RecordFile(node.disk, run_name, schema)
+
+        def make_read(run_file, n_run):
+            def read(ctx, buf):
+                start = buf.round * vB
+                count = min(vB, n_run - start)
+                buf.put(run_file.read(start, count))
+                return buf
+            return read
+
+        stage = Stage.map(f"read{i}", make_read(run_file, n_run),
+                          virtual=True, virtual_group="read")
+        pipeline = prog.add_pipeline(
+            f"v{i}", [stage, merge_stage],
+            nbuffers=2, buffer_bytes=vB * rec_bytes,
+            rounds=math.ceil(n_run / vB))
+        verticals.append(pipeline)
+
+    # -- horizontal pipeline: merge -> send ------------------------------------
+
+    def send(ctx):
+        while True:
+            buf = ctx.accept()
+            if buf.is_caboose:
+                break
+            records = buf.view(schema.dtype)
+            block = buf.tags["global_block"]
+            comm.send(block % P, records.copy(), tag=TAG_PASS2,
+                      meta={"global_block": block,
+                            "offset": buf.tags["offset"]})
+            ctx.convey(buf)
+        for dest in range(P):
+            comm.send(dest, schema.empty(0), tag=TAG_PASS2)  # end marker
+        ctx.forward(buf)
+
+    horizontal = prog.add_pipeline(
+        "merge-out", [merge_stage, Stage.source_driven("send", send)],
+        nbuffers=nbuffers, buffer_bytes=outB * rec_bytes, rounds=None)
+
+    def merge(ctx):
+        merger = BlockMerger(schema, range(len(verticals)))
+        head_buf = {}
+
+        def refill():
+            for i in sorted(merger.needs()):
+                if i in head_buf:
+                    ctx.convey(head_buf.pop(i))  # spent buffer goes home
+                nxt = ctx.accept(verticals[i])
+                if nxt.is_caboose:
+                    ctx.forward(nxt)
+                    merger.finish_run(i)
+                else:
+                    merger.feed(i, nxt.view(schema.dtype))
+                    head_buf[i] = nxt
+
+        refill()  # prime one block per run
+        emitted = 0
+        while not merger.exhausted:
+            out = ctx.accept(horizontal)
+            position = start_global + emitted
+            block = position // outB
+            offset = position % outB
+            # fill exactly to the stripe-block boundary so each conveyed
+            # buffer maps to one global block
+            target = outB - offset
+            out_records = out.data[:target * rec_bytes].view(schema.dtype)
+            filled = 0
+            while filled < target and not merger.exhausted:
+                if not merger.ready:
+                    refill()
+                    continue
+                n = merger.merge_into(out_records, filled, target - filled)
+                node.compute_merge(n)
+                filled += n
+            if filled:
+                out.size = filled * rec_bytes
+                out.tags["global_block"] = block
+                out.tags["offset"] = offset
+                ctx.convey(out)
+                emitted += filled
+        ctx.convey_caboose(horizontal)
+
+    merge_stage.fn = merge
+
+    # -- receive pipeline: accept owned blocks, write them striped ---------------
+
+    out_local = RecordFile(node.disk, output_file, schema)
+
+    def receive(ctx):
+        pipeline = ctx.pipelines[0]
+        ends = 0
+        while ends < P:
+            msg = comm.recv_msg(tag=TAG_PASS2)
+            if len(msg.payload) == 0:
+                ends += 1
+                continue
+            block = msg.meta["global_block"]
+            if block % P != comm.rank:
+                raise SortError(
+                    f"node {comm.rank} received block {block} owned by "
+                    f"node {block % P}")
+            buf = ctx.accept()
+            node.compute_copy(msg.payload.nbytes)
+            buf.put(msg.payload)
+            buf.tags.update(msg.meta)
+            ctx.convey(buf)
+        ctx.convey_caboose(pipeline)
+
+    def write(ctx, buf):
+        records = buf.view(schema.dtype)
+        local_start = ((buf.tags["global_block"] // P) * outB
+                       + buf.tags["offset"])
+        out_local.write(local_start, records)
+        return buf
+
+    prog.add_pipeline(
+        "recv", [Stage.source_driven("receive", receive),
+                 Stage.map("write", write)],
+        nbuffers=nbuffers, buffer_bytes=outB * rec_bytes, rounds=None)

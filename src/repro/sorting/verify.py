@@ -1,0 +1,109 @@
+"""Output verification: the checks every sorting experiment must pass.
+
+A sorting program is correct when its striped output (a) contains exactly
+the input multiset of keys, in sorted order, (b) kept every record intact
+(payload still matches its key), and (c) is laid out in PDM striping.
+:func:`verify_striped_output` checks all three against the dataset
+manifest and raises :class:`~repro.errors.VerificationError` with a
+precise diagnosis on any mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import VerificationError
+from repro.pdm.striped import StripedFile
+from repro.workloads.generator import DatasetManifest
+
+__all__ = ["verify_striped_output", "verify_partitioned_output",
+           "verify_records_sorted"]
+
+
+def verify_records_sorted(records: np.ndarray, what: str = "output") -> None:
+    """Raise unless ``records`` is non-decreasing by key."""
+    keys = records["key"]
+    if len(keys) > 1:
+        bad = np.nonzero(keys[:-1] > keys[1:])[0]
+        if len(bad):
+            i = int(bad[0])
+            raise VerificationError(
+                f"{what} not sorted: key[{i}]={keys[i]} > "
+                f"key[{i + 1}]={keys[i + 1]}")
+
+
+def verify_partitioned_output(cluster: Cluster, manifest: DatasetManifest,
+                              output_name: str) -> None:
+    """Check a *non-striped* sorted output (NOW-Sort style): node i's
+    local file is sorted, keys on node i precede keys on node i+1, and
+    the concatenation is the sorted input multiset."""
+    from repro.pdm.blockfile import RecordFile
+
+    schema = manifest.schema
+    parts = []
+    for rank, node in enumerate(cluster.nodes):
+        local = RecordFile(node.disk, output_name, schema).read_all()
+        verify_records_sorted(local, what=f"node {rank} output")
+        parts.append(local)
+    for rank in range(len(parts) - 1):
+        left, right = parts[rank], parts[rank + 1]
+        if len(left) and len(right) and left["key"][-1] > right["key"][0]:
+            raise VerificationError(
+                f"partition order violated between nodes {rank} and "
+                f"{rank + 1}: {left['key'][-1]} > {right['key'][0]}")
+    merged = np.concatenate(parts)
+    if len(merged) != manifest.total_records:
+        raise VerificationError(
+            f"output has {len(merged)} records, expected "
+            f"{manifest.total_records}")
+    if not np.array_equal(merged["key"], manifest.sorted_keys):
+        raise VerificationError(
+            "concatenated local outputs are not the sorted input multiset")
+
+
+def verify_striped_output(cluster: Cluster, manifest: DatasetManifest,
+                          output_name: str, block_records: int) -> None:
+    """Check a striped output file against the dataset manifest."""
+    schema = manifest.schema
+    striped = StripedFile(cluster, output_name, schema, block_records)
+
+    # striping first: every node must hold exactly its round-robin share
+    # (checked before reading content, so a misplaced layout is diagnosed
+    # as such rather than as a read error)
+    total_blocks = -(-manifest.total_records // block_records)
+    for rank, local in enumerate(striped.locals):
+        owned = [b for b in range(total_blocks)
+                 if b % cluster.n_nodes == rank]
+        expected_records = sum(
+            min(block_records, manifest.total_records - b * block_records)
+            for b in owned)
+        if local.n_records != expected_records:
+            raise VerificationError(
+                f"node {rank} holds {local.n_records} output records, "
+                f"expected {expected_records} under PDM striping")
+
+    out = striped.read_all()
+    if len(out) != manifest.total_records:
+        raise VerificationError(
+            f"output has {len(out)} records, expected "
+            f"{manifest.total_records}")
+
+    verify_records_sorted(out)
+
+    if not np.array_equal(out["key"], manifest.sorted_keys):
+        diff = np.nonzero(out["key"] != manifest.sorted_keys)[0]
+        i = int(diff[0])
+        raise VerificationError(
+            f"output keys are not the sorted input multiset: first "
+            f"mismatch at global position {i}: got {out['key'][i]}, "
+            f"expected {manifest.sorted_keys[i]}")
+
+    if "payload" in schema.dtype.names:
+        tags = schema.payload_tags(out)
+        expected = out["key"] ^ np.uint64(0x9E3779B97F4A7C15)
+        if not np.array_equal(tags, expected):
+            bad = int(np.nonzero(tags != expected)[0][0])
+            raise VerificationError(
+                f"record at global position {bad} lost its payload "
+                "(key and payload stamp disagree)")

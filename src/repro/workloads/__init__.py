@@ -1,0 +1,25 @@
+"""Workload generation: key distributions and cluster dataset setup.
+
+The paper evaluates four key distributions — uniform random, all keys
+equal, standard normal, and Poisson(lambda=1) — plus unnamed adversarial
+distributions "designed to elicit highly unbalanced communication in
+pass 1 of dsort" (Section VI).  This package generates all of them as
+order-preserving uint64 keys and writes per-node input files.
+"""
+
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    PAPER_DISTRIBUTIONS,
+    ADVERSARIAL_DISTRIBUTIONS,
+    generate_keys,
+)
+from repro.workloads.generator import DatasetManifest, generate_input
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "PAPER_DISTRIBUTIONS",
+    "ADVERSARIAL_DISTRIBUTIONS",
+    "generate_keys",
+    "DatasetManifest",
+    "generate_input",
+]

@@ -1,0 +1,129 @@
+"""Key distributions for sorting experiments.
+
+Each generator maps its native distribution to ``uint64`` keys through an
+order-preserving transform, so sorting the keys sorts the underlying
+values.  The paper's four evaluation distributions are joined by
+adversarial ones that concentrate records into few partitions, eliciting
+the highly unbalanced pass-1 communication discussed in Section VI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import SortError
+
+__all__ = [
+    "generate_keys",
+    "DISTRIBUTIONS",
+    "PAPER_DISTRIBUTIONS",
+    "ADVERSARIAL_DISTRIBUTIONS",
+]
+
+_HALF = np.uint64(1) << np.uint64(63)
+
+
+def _floats_to_ordered_u64(x: np.ndarray) -> np.ndarray:
+    """Order-preserving map from float64 to uint64.
+
+    Uses the classic IEEE-754 trick: flip the sign bit for non-negative
+    floats and all bits for negative ones; the resulting unsigned integers
+    compare in the same order as the floats.  Adding 0.0 first collapses
+    -0.0 onto +0.0, so equal floats always map to equal keys.
+    """
+    x = np.asarray(x, dtype="<f8") + 0.0
+    bits = np.ascontiguousarray(x).view("<u8")
+    negative = (bits & _HALF) != 0
+    out = np.where(negative, ~bits, bits | _HALF)
+    return out.astype("<u8")
+
+
+def _uniform(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Uniform random over the full uint64 range."""
+    return rng.integers(0, np.iinfo(np.uint64).max, size=n,
+                        dtype=np.uint64, endpoint=True)
+
+
+def _all_equal(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Every key identical — the splitter-selection stress test."""
+    return np.full(n, 0x5555_5555_5555_5555, dtype=np.uint64)
+
+
+def _std_normal(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Standard normal, order-preservingly mapped to uint64."""
+    return _floats_to_ordered_u64(rng.standard_normal(n))
+
+
+def _poisson1(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Poisson with lambda = 1 (tiny discrete support, massive ties)."""
+    return rng.poisson(lam=1.0, size=n).astype(np.uint64)
+
+
+def _reverse_sorted(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Strictly decreasing keys (every record moves)."""
+    return np.arange(n, 0, -1, dtype=np.uint64)
+
+
+def _already_sorted(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Strictly increasing keys."""
+    return np.arange(n, dtype=np.uint64)
+
+
+def _single_hot_value(rng: np.random.Generator, n: int) -> np.ndarray:
+    """90% of keys share one value, 10% uniform — extreme partition skew
+    that only the extended-key tie-breaking keeps balanced."""
+    keys = _uniform(rng, n)
+    hot = rng.random(n) < 0.9
+    keys[hot] = 0x0123_4567_89AB_CDEF
+    return keys
+
+
+def _narrow_range(rng: np.random.Generator, n: int) -> np.ndarray:
+    """All keys drawn from a sliver of the key space: without sampling,
+    naive fixed splitters would route everything to one node."""
+    lo = 0x7000_0000_0000_0000
+    return (lo + rng.integers(0, 1 << 20, size=n)).astype(np.uint64)
+
+
+def _zipf_like(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Heavy-tailed repeated values (Zipf over 1k distinct keys)."""
+    ranks = rng.zipf(a=1.5, size=n)
+    return (np.minimum(ranks, 1000) * 0x1_0000_0000).astype(np.uint64)
+
+
+#: the paper's four evaluation distributions (Figure 8 column order)
+PAPER_DISTRIBUTIONS = ("uniform", "all_equal", "std_normal", "poisson")
+
+#: distributions "designed to elicit highly unbalanced communication"
+ADVERSARIAL_DISTRIBUTIONS = ("single_hot_value", "narrow_range",
+                             "zipf", "reverse_sorted", "sorted")
+
+DISTRIBUTIONS: Dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
+    "uniform": _uniform,
+    "all_equal": _all_equal,
+    "std_normal": _std_normal,
+    "poisson": _poisson1,
+    "reverse_sorted": _reverse_sorted,
+    "sorted": _already_sorted,
+    "single_hot_value": _single_hot_value,
+    "narrow_range": _narrow_range,
+    "zipf": _zipf_like,
+}
+
+
+def generate_keys(distribution: str, n: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """n uint64 keys drawn from the named distribution."""
+    try:
+        gen = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise SortError(
+            f"unknown distribution {distribution!r}; "
+            f"known: {sorted(DISTRIBUTIONS)}") from None
+    if n < 0:
+        raise SortError(f"negative key count: {n}")
+    keys = gen(rng, n)
+    assert keys.dtype == np.uint64 and len(keys) == n
+    return keys

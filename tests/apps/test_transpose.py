@@ -1,0 +1,89 @@
+"""Tests for the out-of-core matrix transpose application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.transpose import MATRIX_FILE, OUTPUT_FILE, run_transpose
+from repro.cluster import Cluster, HardwareModel
+from repro.errors import SortError
+
+
+def fast_hw():
+    return HardwareModel(net_bandwidth=1e9, net_latency=1e-6,
+                         disk_bandwidth=1e9, disk_seek=1e-5)
+
+
+def setup_matrix(cluster, n, seed=0):
+    """Write row blocks of a random N x N matrix; return the matrix."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((n, n))
+    rows = n // cluster.n_nodes
+    for p, node in enumerate(cluster.nodes):
+        block = np.ascontiguousarray(matrix[p * rows:(p + 1) * rows])
+        node.disk.storage.write(MATRIX_FILE, 0,
+                                block.reshape(-1).view(np.uint8))
+    return matrix
+
+
+def read_result(cluster, n):
+    rows = n // cluster.n_nodes
+    blocks = []
+    for node in cluster.nodes:
+        raw = node.disk.storage.read(OUTPUT_FILE, 0, rows * n * 8)
+        blocks.append(raw.view("<f8").reshape(rows, n))
+    return np.vstack(blocks)
+
+
+@pytest.mark.parametrize("n_nodes,n", [(1, 4), (2, 8), (4, 8), (4, 16)])
+def test_transpose_matches_numpy(n_nodes, n):
+    cluster = Cluster(n_nodes=n_nodes, hardware=fast_hw())
+    matrix = setup_matrix(cluster, n)
+    reports = cluster.run(run_transpose, n)
+    np.testing.assert_allclose(read_result(cluster, n), matrix.T)
+    assert all(r.tiles_processed == n_nodes for r in reports)
+
+
+def test_transpose_requires_divisible_side():
+    cluster = Cluster(n_nodes=4, hardware=fast_hw())
+    setup_matrix(cluster, 8)
+    with pytest.raises(Exception) as exc_info:
+        cluster.run(run_transpose, 10)
+    assert isinstance(exc_info.value.original, SortError)
+
+
+def test_transpose_communication_is_balanced():
+    cluster = Cluster(n_nodes=4, hardware=fast_hw())
+    setup_matrix(cluster, 16)
+    cluster.run(run_transpose, 16)
+    sent = cluster.network.bytes_sent
+    assert max(sent) == min(sent)  # perfectly balanced pairwise swaps
+
+
+def test_transpose_twice_is_identity():
+    cluster = Cluster(n_nodes=2, hardware=fast_hw())
+    matrix = setup_matrix(cluster, 8)
+
+    def main(node, comm):
+        run_transpose(node, comm, 8)
+        # feed the output back in as the next input (untimed copy)
+        raw = node.disk.storage.read(OUTPUT_FILE, 0,
+                                     node.disk.size(OUTPUT_FILE))
+        node.disk.storage.write(MATRIX_FILE, 0, raw)
+        comm.barrier()
+        run_transpose(node, comm, 8)
+
+    cluster.run(main)
+    np.testing.assert_allclose(read_result(cluster, 8), matrix)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from([(1, 3), (2, 4), (3, 9), (4, 12)]),
+       st.integers(min_value=0, max_value=50))
+def test_property_transpose(shape, seed):
+    n_nodes, n = shape
+    cluster = Cluster(n_nodes=n_nodes, hardware=fast_hw())
+    matrix = setup_matrix(cluster, n, seed=seed)
+    cluster.run(run_transpose, n)
+    np.testing.assert_allclose(read_result(cluster, n), matrix.T)

@@ -1,0 +1,52 @@
+"""Tests for the table renderer."""
+
+from repro.bench.harness import SortRun
+from repro.bench.reporting import render_figure8, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "value"],
+                       [["a", 1.5], ["longer", 0.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equally wide
+
+
+def test_render_table_formats_floats():
+    out = render_table(["x"], [[0.123456]])
+    assert "0.1235" in out
+
+
+def make_run(sorter, phases):
+    return SortRun(sorter=sorter, distribution="uniform", record_bytes=16,
+                   n_nodes=2, n_per_node=10, phase_times=phases,
+                   verified=True, partition_imbalance=None, bytes_io=0,
+                   bytes_wire=0, max_disk_busy=0.0)
+
+
+def test_render_figure8_structure():
+    results = {
+        "uniform": {
+            "dsort": make_run("dsort", {"sampling": 0.1, "pass1": 1.0,
+                                        "pass2": 1.0}),
+            "csort": make_run("csort", {"pass1": 1.0, "pass2": 1.0,
+                                        "pass3": 1.0}),
+        }
+    }
+    out = render_figure8(results, 16)
+    assert "Figure 8 (a)" in out
+    assert "dsort" in out and "csort" in out
+    assert "0.7000" in out  # ratio 2.1 / 3.0
+
+
+def test_render_figure8_b_title():
+    results = {
+        "poisson": {
+            "dsort": make_run("dsort", {"sampling": 0.0, "pass1": 1.0,
+                                        "pass2": 1.0}),
+            "csort": make_run("csort", {"pass1": 1.0, "pass2": 1.0,
+                                        "pass3": 1.0}),
+        }
+    }
+    assert "Figure 8 (b)" in render_figure8(results, 64)

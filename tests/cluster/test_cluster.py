@@ -1,0 +1,69 @@
+"""Unit tests for Cluster assembly and SPMD helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel, MemoryStorage
+from repro.errors import ClusterError
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ClusterError):
+        Cluster(n_nodes=0)
+
+
+def test_storage_count_must_match():
+    with pytest.raises(ClusterError):
+        Cluster(n_nodes=3, storages=[MemoryStorage()])
+
+
+def test_defaults_are_paper_hardware():
+    cluster = Cluster(n_nodes=2)
+    assert cluster.hardware == HardwareModel.paper_cluster()
+    assert cluster.n_nodes == 2
+
+
+def test_node_and_comm_accessors():
+    cluster = Cluster(n_nodes=3)
+    for rank in range(3):
+        assert cluster.node(rank).rank == rank
+        assert cluster.comm(rank).rank == rank
+        assert cluster.comm(rank).size == 3
+
+
+def test_spawn_spmd_names_processes_by_rank():
+    cluster = Cluster(n_nodes=2)
+
+    def main(node, comm):
+        return comm.rank
+
+    procs = cluster.spawn_spmd(main, name="worker")
+    assert [p.name for p in procs] == ["worker@0", "worker@1"]
+    cluster.kernel.run()
+    assert [p.result for p in procs] == [0, 1]
+
+
+def test_run_passes_extra_args():
+    cluster = Cluster(n_nodes=2)
+    results = cluster.run(lambda node, comm, a: (comm.rank, a), 42)
+    assert results == [(0, 42), (1, 42)]
+
+
+def test_aggregate_stats_start_at_zero():
+    cluster = Cluster(n_nodes=2)
+    assert cluster.total_bytes_io() == 0
+    assert cluster.total_bytes_sent() == 0
+    assert cluster.max_disk_busy() == 0.0
+
+
+def test_max_disk_busy_tracks_hottest_disk():
+    cluster = Cluster(n_nodes=2, hardware=HardwareModel(
+        disk_bandwidth=100.0, disk_seek=0.0))
+
+    def main(node, comm):
+        if comm.rank == 1:
+            node.disk.write("f", 0, np.zeros(300, dtype=np.uint8))
+
+    cluster.run(main)
+    assert cluster.max_disk_busy() == pytest.approx(3.0)
+    assert cluster.node(0).disk.busy_time() == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for the simulated disk: timing, contention, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.disk import Disk
+from repro.cluster.hardware import HardwareModel
+from repro.cluster.storage import MemoryStorage
+from repro.sim import VirtualTimeKernel
+
+
+def make_disk(kernel, bandwidth=100.0, seek=1.0):
+    hw = HardwareModel(disk_bandwidth=bandwidth, disk_seek=seek)
+    return Disk(kernel, MemoryStorage(), hw)
+
+
+def test_read_write_roundtrip_with_timing():
+    kernel = VirtualTimeKernel()
+    disk = make_disk(kernel, bandwidth=100.0, seek=1.0)
+    out = {}
+
+    def proc():
+        disk.write("f", 0, np.arange(50, dtype=np.uint8))  # 1 + 50/100 = 1.5
+        out["after_write"] = kernel.now()
+        out["data"] = disk.read("f", 0, 50)                # another 1.5
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert out["after_write"] == pytest.approx(1.5)
+    assert kernel.now() == pytest.approx(3.0)
+    np.testing.assert_array_equal(out["data"], np.arange(50, dtype=np.uint8))
+
+
+def test_concurrent_requests_serialize_on_arm():
+    kernel = VirtualTimeKernel()
+    disk = make_disk(kernel, bandwidth=100.0, seek=0.0)
+    data = np.zeros(100, dtype=np.uint8)
+
+    def writer(i):
+        disk.write(f"f{i}", 0, data)  # 1.0 s each
+
+    for i in range(3):
+        kernel.spawn(writer, i)
+    kernel.run()
+    assert kernel.now() == pytest.approx(3.0)
+
+
+def test_io_accounting():
+    kernel = VirtualTimeKernel()
+    disk = make_disk(kernel)
+
+    def proc():
+        disk.write("f", 0, np.zeros(64, dtype=np.uint8))
+        disk.write("f", 64, np.zeros(64, dtype=np.uint8))
+        disk.read("f", 0, 128)
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert disk.bytes_written == 128
+    assert disk.bytes_read == 128
+    assert disk.bytes_total == 256
+    assert disk.writes == 2
+    assert disk.reads == 1
+
+
+def test_busy_time_matches_model():
+    kernel = VirtualTimeKernel()
+    disk = make_disk(kernel, bandwidth=100.0, seek=1.0)
+
+    def proc():
+        disk.write("f", 0, np.zeros(100, dtype=np.uint8))  # 2.0 s busy
+        kernel.sleep(5.0)                                  # idle
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert disk.busy_time() == pytest.approx(2.0)
+
+
+def test_negative_read_length_rejected():
+    kernel = VirtualTimeKernel()
+    disk = make_disk(kernel)
+
+    def proc():
+        disk.read("f", 0, -1)
+
+    kernel.spawn(proc)
+    with pytest.raises(Exception) as exc_info:
+        kernel.run()
+    assert "negative" in str(exc_info.value.original)
+
+
+def test_multidtype_write_sizes_by_raw_bytes():
+    kernel = VirtualTimeKernel()
+    disk = make_disk(kernel, bandwidth=8.0, seek=0.0)
+
+    def proc():
+        disk.write("f", 0, np.array([1], dtype="<u8"))  # 8 bytes -> 1.0 s
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert kernel.now() == pytest.approx(1.0)
+    assert disk.bytes_written == 8

@@ -1,0 +1,66 @@
+"""Tests for message metadata and recv_msg (used by dsort pass 2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+
+
+def fast_cluster(n):
+    return Cluster(n_nodes=n, hardware=HardwareModel(
+        net_bandwidth=1e12, net_latency=0.0, copy_cost_per_byte=0.0))
+
+
+def test_meta_travels_with_message():
+    cluster = fast_cluster(2)
+
+    def main(node, comm):
+        if comm.rank == 0:
+            comm.send(1, np.arange(4), tag=3,
+                      meta={"global_block": 7, "offset": 2})
+            return None
+        msg = comm.recv_msg(source=0, tag=3)
+        return (msg.src, msg.tag, msg.meta, int(msg.payload.sum()))
+
+    results = cluster.run(main)
+    assert results[1] == (0, 3, {"global_block": 7, "offset": 2}, 6)
+
+
+def test_meta_is_charged_as_fixed_header():
+    hw = HardwareModel(net_bandwidth=100.0, net_latency=0.0)
+    cluster = Cluster(n_nodes=2, hardware=hw)
+
+    def main(node, comm):
+        if comm.rank == 0:
+            comm.send(1, b"x" * 100, tag=0, meta={"k": 1})
+        else:
+            comm.recv_msg(source=0)
+            return node.kernel.now()
+
+    results = cluster.run(main)
+    # tx (100+64)/100 + rx 164/100 = 3.28 seconds
+    assert results[1] == pytest.approx(3.28)
+
+
+def test_message_without_meta_has_none():
+    cluster = fast_cluster(2)
+
+    def main(node, comm):
+        if comm.rank == 0:
+            comm.send(1, b"hello", tag=1)
+            return None
+        msg = comm.recv_msg(source=0, tag=1)
+        return msg.meta
+
+    assert cluster.run(main)[1] is None
+
+
+def test_recv_msg_tag_validation():
+    cluster = fast_cluster(1)
+
+    def main(node, comm):
+        comm.recv_msg(tag=-5)
+
+    with pytest.raises(Exception) as exc_info:
+        cluster.run(main)
+    assert "tags" in str(exc_info.value.original)

@@ -1,0 +1,103 @@
+"""Unit tests for storage backends (memory and real files)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.storage import FileStorage, MemoryStorage
+from repro.errors import StorageError
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStorage()
+    return FileStorage(str(tmp_path / "disk0"))
+
+
+def test_write_then_read_roundtrip(storage):
+    data = np.arange(256, dtype=np.uint8)
+    storage.write("f", 0, data)
+    out = storage.read("f", 0, 256)
+    np.testing.assert_array_equal(out, data)
+
+
+def test_partial_read(storage):
+    storage.write("f", 0, np.arange(100, dtype=np.uint8))
+    out = storage.read("f", 10, 5)
+    np.testing.assert_array_equal(out, [10, 11, 12, 13, 14])
+
+
+def test_write_at_offset_extends_with_zero_fill(storage):
+    storage.write("f", 0, np.array([1, 2], dtype=np.uint8))
+    storage.write("f", 5, np.array([9], dtype=np.uint8))
+    assert storage.size("f") == 6
+    out = storage.read("f", 0, 6)
+    np.testing.assert_array_equal(out, [1, 2, 0, 0, 0, 9])
+
+
+def test_overwrite_in_place(storage):
+    storage.write("f", 0, np.zeros(10, dtype=np.uint8))
+    storage.write("f", 3, np.array([7, 7], dtype=np.uint8))
+    out = storage.read("f", 0, 10)
+    np.testing.assert_array_equal(out, [0, 0, 0, 7, 7, 0, 0, 0, 0, 0])
+    assert storage.size("f") == 10
+
+
+def test_non_uint8_dtype_written_as_raw_bytes(storage):
+    values = np.array([1, 2, 3], dtype="<u8")
+    storage.write("f", 0, values)
+    assert storage.size("f") == 24
+    out = storage.read("f", 0, 24)
+    np.testing.assert_array_equal(out.view("<u8"), values)
+
+
+def test_read_missing_file_raises(storage):
+    with pytest.raises(StorageError):
+        storage.read("ghost", 0, 1)
+
+
+def test_read_past_end_raises(storage):
+    storage.write("f", 0, np.zeros(4, dtype=np.uint8))
+    with pytest.raises(StorageError):
+        storage.read("f", 0, 5)
+
+
+def test_negative_offset_rejected(storage):
+    with pytest.raises(StorageError):
+        storage.read("f", -1, 1)
+
+
+def test_exists_delete_names(storage):
+    assert not storage.exists("a")
+    storage.write("a", 0, np.zeros(1, dtype=np.uint8))
+    storage.write("b", 0, np.zeros(1, dtype=np.uint8))
+    assert storage.exists("a")
+    assert storage.names() == ["a", "b"]
+    storage.delete("a")
+    assert not storage.exists("a")
+    assert storage.names() == ["b"]
+    storage.delete("a")  # idempotent
+
+
+def test_truncate_shrink_and_grow(storage):
+    storage.write("f", 0, np.arange(10, dtype=np.uint8))
+    storage.truncate("f", 4)
+    assert storage.size("f") == 4
+    storage.truncate("f", 8)
+    assert storage.size("f") == 8
+    out = storage.read("f", 0, 8)
+    np.testing.assert_array_equal(out, [0, 1, 2, 3, 0, 0, 0, 0])
+
+
+def test_file_storage_rejects_path_traversal(tmp_path):
+    fs = FileStorage(str(tmp_path / "d"))
+    with pytest.raises(StorageError):
+        fs.write("../evil", 0, np.zeros(1, dtype=np.uint8))
+    with pytest.raises(StorageError):
+        fs.read("a/b", 0, 1)
+
+
+def test_empty_read_of_existing_file(storage):
+    storage.write("f", 0, np.zeros(3, dtype=np.uint8))
+    out = storage.read("f", 1, 0)
+    assert out.size == 0

@@ -1,0 +1,95 @@
+"""Unit tests for Buffer semantics (views, puts, cabooses, aux)."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import Buffer
+from repro.core.pipeline import Pipeline
+from repro.core.stage import Stage
+from repro.errors import StageError
+
+
+def make_pipeline():
+    return Pipeline("p", [Stage.map("s", lambda ctx, b: b)],
+                    nbuffers=1, buffer_bytes=64)
+
+
+def test_fresh_buffer_state():
+    buf = Buffer(make_pipeline(), index=3, capacity=64)
+    assert buf.capacity == 64
+    assert buf.size == 0
+    assert buf.round == -1
+    assert not buf.is_caboose
+    assert buf.aux is None
+    assert buf.tags == {}
+
+
+def test_put_sets_size_and_view_reads_back():
+    buf = Buffer(make_pipeline(), 0, 64)
+    buf.put(np.arange(8, dtype="<u4"))
+    assert buf.size == 32
+    np.testing.assert_array_equal(buf.view("<u4"),
+                                  np.arange(8, dtype="<u4"))
+
+
+def test_view_is_aliasing():
+    buf = Buffer(make_pipeline(), 0, 64)
+    buf.put(np.zeros(4, dtype="<u8"))
+    view = buf.view("<u8")
+    view[0] = 99
+    np.testing.assert_array_equal(buf.view("<u8"),
+                                  [99, 0, 0, 0])
+
+
+def test_put_overflow_rejected():
+    buf = Buffer(make_pipeline(), 0, 16)
+    with pytest.raises(StageError):
+        buf.put(np.zeros(3, dtype="<u8"))  # 24 bytes > 16
+
+
+def test_view_requires_whole_items():
+    buf = Buffer(make_pipeline(), 0, 64)
+    buf.put(np.zeros(6, dtype=np.uint8))
+    with pytest.raises(StageError):
+        buf.view("<u4")  # 6 bytes is not a multiple of 4
+
+
+def test_clear_resets_size_and_tags():
+    buf = Buffer(make_pipeline(), 0, 64)
+    buf.put(np.zeros(8, dtype=np.uint8))
+    buf.tags["x"] = 1
+    buf.clear()
+    assert buf.size == 0
+    assert buf.tags == {}
+
+
+def test_aux_allocated_on_request():
+    buf = Buffer(make_pipeline(), 0, 64, with_aux=True)
+    assert buf.aux is not None
+    assert len(buf.aux) == 64
+    # aux is independent scratch space
+    buf.aux[0] = 7
+    buf.put(np.zeros(1, dtype=np.uint8))
+    assert buf.aux[0] == 7
+
+
+def test_caboose_properties_and_guards():
+    p = make_pipeline()
+    caboose = Buffer.caboose(p)
+    assert caboose.is_caboose
+    assert caboose.capacity == 0
+    assert caboose.pipeline is p
+    with pytest.raises(StageError):
+        caboose.put(np.zeros(1, dtype=np.uint8))
+    with pytest.raises(StageError):
+        caboose.view(np.uint8)
+
+
+def test_structured_dtype_view():
+    dtype = np.dtype([("key", "<u8"), ("payload", "V8")])
+    buf = Buffer(make_pipeline(), 0, 64)
+    records = np.zeros(2, dtype=dtype)
+    records["key"] = [5, 9]
+    buf.put(records)
+    out = buf.view(dtype)
+    np.testing.assert_array_equal(out["key"], [5, 9])

@@ -1,0 +1,99 @@
+"""Contract tests for StageContext misuse (every rule the paper implies)."""
+
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import ProcessFailed, StageError
+from repro.sim import VirtualTimeKernel
+
+
+def run_expect_failure(build, expected_type=StageError,
+                       fragment: str = ""):
+    kernel = VirtualTimeKernel()
+    prog = build(kernel)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert isinstance(exc_info.value.original, expected_type)
+    if fragment:
+        assert fragment in str(exc_info.value.original)
+    return exc_info.value.original
+
+
+def test_accept_names_pipeline_stage_is_not_in():
+    def build(kernel):
+        prog = FGProgram(kernel)
+        other = prog.add_pipeline(
+            "other", [Stage.map("o", lambda c, b: b)],
+            nbuffers=1, buffer_bytes=8, rounds=1)
+
+        def bad(ctx):
+            ctx.accept(other)
+
+        prog.add_pipeline("mine", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    run_expect_failure(build, fragment="does not belong")
+
+
+def test_convey_caboose_on_foreign_pipeline_rejected():
+    def build(kernel):
+        prog = FGProgram(kernel)
+        other = prog.add_pipeline(
+            "other", [Stage.map("o", lambda c, b: b)],
+            nbuffers=1, buffer_bytes=8, rounds=1)
+
+        def bad(ctx):
+            ctx.accept()
+            ctx.convey_caboose(other)
+
+        prog.add_pipeline("mine", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    run_expect_failure(build, fragment="does not belong")
+
+
+def test_forward_rejects_data_buffers():
+    def build(kernel):
+        prog = FGProgram(kernel)
+
+        def bad(ctx):
+            buf = ctx.accept()
+            ctx.forward(buf)  # data buffer, not a caboose
+
+        prog.add_pipeline("p", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    run_expect_failure(build, fragment="caboose")
+
+
+def test_map_stage_fn_error_names_no_mystery():
+    def build(kernel):
+        prog = FGProgram(kernel)
+
+        def explode(ctx, buf):
+            raise KeyError("user bug")
+
+        prog.add_pipeline("p", [Stage.map("explode", explode)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    original = run_expect_failure(build, expected_type=KeyError)
+    assert "user bug" in str(original)
+
+
+def test_unknown_stage_style_rejected_at_construction():
+    from repro.errors import PipelineStructureError
+    with pytest.raises(PipelineStructureError):
+        Stage("weird", lambda: None, style="stream")
+
+
+def test_env_is_copied_not_aliased():
+    kernel = VirtualTimeKernel()
+    env = {"node": None}
+    prog = FGProgram(kernel, env=env)
+    env["node"] = "mutated-after"
+    assert prog.env["node"] is None

@@ -1,0 +1,162 @@
+"""Tests for fork-join pipelines built on intersecting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.core.forkjoin import add_fork_join
+from repro.errors import PipelineStructureError, ProcessFailed
+from repro.sim import VirtualTimeKernel
+
+
+def build_parity_forkjoin(kernel, n_rounds, branch_sleep=None,
+                          collected=None):
+    """Route even rounds to branch 'even', odd to 'odd'."""
+    prog = FGProgram(kernel)
+
+    def fill(ctx, buf):
+        buf.put(np.full(4, buf.round, dtype="<u4"))
+        buf.tags["origin_round"] = buf.round
+        return buf
+
+    def make_branch_stage(tag):
+        def fn(ctx, buf):
+            if branch_sleep:
+                kernel.sleep(branch_sleep[tag])
+            values = buf.view("<u4")
+            buf.put(values * np.uint32(2) if tag == "even"
+                    else values * np.uint32(3))
+            return buf
+        return fn
+
+    def collect(ctx, buf):
+        if collected is not None:
+            collected.append((buf.tags["origin_round"],
+                              int(buf.view("<u4")[0])))
+        return buf
+
+    fj = add_fork_join(
+        prog, "fj",
+        pre=[Stage.map("fill", fill)],
+        branches={"even": [Stage.map("beven", make_branch_stage("even"))],
+                  "odd": [Stage.map("bodd", make_branch_stage("odd"))]},
+        post=[Stage.map("collect", collect)],
+        route=lambda buf: "even" if buf.round % 2 == 0 else "odd",
+        nbuffers=3, buffer_bytes=32, rounds=n_rounds)
+    return prog, fj
+
+
+def test_forkjoin_routes_and_restores_round_order():
+    kernel = VirtualTimeKernel()
+    collected = []
+    prog, _ = build_parity_forkjoin(kernel, 8, collected=collected)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert [r for r, _ in collected] == list(range(8))
+    for r, value in collected:
+        assert value == (2 * r if r % 2 == 0 else 3 * r)
+
+
+def test_forkjoin_zero_rounds():
+    kernel = VirtualTimeKernel()
+    collected = []
+    prog, _ = build_parity_forkjoin(kernel, 0, collected=collected)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert collected == []
+
+
+def test_forkjoin_single_branch_receives_everything():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    seen = []
+
+    fj = add_fork_join(
+        prog, "fj",
+        pre=[Stage.map("fill",
+                       lambda ctx, b: b.put(np.zeros(1, np.uint8)) or b)],
+        branches={"only": [Stage.map(
+            "b", lambda ctx, b: seen.append(b.round) or b)]},
+        post=[Stage.map("out", lambda ctx, b: b)],
+        route=lambda buf: "only",
+        nbuffers=2, buffer_bytes=8, rounds=5)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert sorted(seen) == list(range(5))
+    assert set(fj.branches) == {"only"}
+
+
+def test_branches_overlap_in_time():
+    """Even branch takes 1 s/buffer, odd branch 1 s/buffer: with both
+    branches running concurrently, 8 buffers take ~4+fill seconds, not 8."""
+    kernel = VirtualTimeKernel()
+    prog, _ = build_parity_forkjoin(
+        kernel, 8, branch_sleep={"even": 1.0, "odd": 1.0})
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert kernel.now() < 6.0  # serial would be >= 8
+
+
+def test_unknown_branch_from_route_fails_cleanly():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    add_fork_join(
+        prog, "fj",
+        pre=[Stage.map("fill",
+                       lambda ctx, b: b.put(np.zeros(1, np.uint8)) or b)],
+        branches={"a": [Stage.map("ba", lambda ctx, b: b)]},
+        post=[Stage.map("out", lambda ctx, b: b)],
+        route=lambda buf: "nope",
+        nbuffers=1, buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert "unknown" in str(exc_info.value.original)
+
+
+def test_forkjoin_validation():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    with pytest.raises(PipelineStructureError):
+        add_fork_join(prog, "fj", pre=[Stage.map("p", lambda c, b: b)],
+                      branches={}, post=[], route=lambda b: "x",
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    with pytest.raises(PipelineStructureError):
+        add_fork_join(prog, "fj", pre=[],
+                      branches={"a": [Stage.map("s", lambda c, b: b)]},
+                      post=[], route=lambda b: "a",
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+
+
+def test_forkjoin_thread_budget():
+    """fork and join are single threads despite intersecting everything."""
+    kernel = VirtualTimeKernel()
+    prog, fj = build_parity_forkjoin(kernel, 2)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    # trunk: source+fill+sink = 3; branches: (source+stage+sink) x 2 = 6
+    # post: source+collect+sink = 3; fork = 1; join = 1
+    assert prog.thread_count == 14
+
+
+def test_forkjoin_different_branch_buffer_geometry():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    sizes = {}
+
+    def probe(ctx, buf):
+        sizes["branch"] = buf.capacity
+        return buf
+
+    add_fork_join(
+        prog, "fj",
+        pre=[Stage.map("fill",
+                       lambda ctx, b: b.put(np.zeros(1, np.uint8)) or b)],
+        branches={"a": [Stage.map("probe", probe)]},
+        post=[Stage.map("out", lambda ctx, b: b)],
+        route=lambda buf: "a",
+        nbuffers=2, buffer_bytes=16, rounds=1,
+        branch_nbuffers=5, branch_buffer_bytes=64)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert sizes["branch"] == 64

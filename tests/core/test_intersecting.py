@@ -1,0 +1,181 @@
+"""Tests for intersecting pipelines (paper Figure 5a).
+
+A single merge stage is placed in several vertical pipelines (carrying
+sorted runs) and one horizontal pipeline (carrying merged output).  FG must
+create one thread for it, let it accept per-pipeline, and recycle each
+buffer along its own pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import PipelineStructureError, ProcessFailed
+from repro.sim import VirtualTimeKernel
+
+
+def build_merge_program(kernel, runs, out_capacity_values=4):
+    """Merge sorted ``runs`` (lists of ints) via intersecting pipelines.
+
+    Each vertical pipeline feeds blocks of one run (2 values per buffer);
+    the merge stage produces sorted output blocks of
+    ``out_capacity_values`` values on the horizontal pipeline.
+    """
+    prog = FGProgram(kernel)
+    merged = []
+
+    verticals = []
+    vstages = []
+    for i, run in enumerate(runs):
+        blocks = [run[j:j + 2] for j in range(0, len(run), 2)]
+
+        def make_read(blocks):
+            def read(ctx, buf):
+                buf.put(np.asarray(blocks[buf.round], dtype="<i8"))
+                return buf
+            return read
+
+        read_stage = Stage.map(f"read{i}", make_read(blocks))
+        vstages.append(read_stage)
+        verticals.append((read_stage, len(blocks)))
+
+    merge_stage = Stage.source_driven("merge", None)  # fn set below
+    pipelines = []
+    for i, (read_stage, nblocks) in enumerate(verticals):
+        p = prog.add_pipeline(f"v{i}", [read_stage, merge_stage],
+                              nbuffers=2, buffer_bytes=16, rounds=nblocks)
+        pipelines.append(p)
+
+    def collect(ctx, buf):
+        merged.extend(int(x) for x in buf.view("<i8"))
+        return buf
+
+    horizontal = prog.add_pipeline(
+        "h", [merge_stage, Stage.map("collect", collect)],
+        nbuffers=2, buffer_bytes=8 * out_capacity_values, rounds=None)
+
+    def merge(ctx):
+        heads = {}   # pipeline index -> (buffer, position)
+        exhausted = set()
+        for i, p in enumerate(pipelines):
+            buf = ctx.accept(p)
+            if buf.is_caboose:
+                ctx.forward(buf)
+                exhausted.add(i)
+            else:
+                heads[i] = (buf, 0)
+        out = ctx.accept(horizontal)
+        out_vals = []
+
+        def flush():
+            nonlocal out
+            out.put(np.asarray(out_vals, dtype="<i8"))
+            ctx.convey(out)
+            out_vals.clear()
+            out = ctx.accept(horizontal)
+
+        while heads:
+            i = min(heads, key=lambda k: heads[k][0].view("<i8")[heads[k][1]])
+            buf, pos = heads[i]
+            values = buf.view("<i8")
+            out_vals.append(int(values[pos]))
+            if len(out_vals) == out_capacity_values:
+                flush()
+            pos += 1
+            if pos == len(values):
+                ctx.convey(buf)  # spent buffer home along its own pipeline
+                nxt = ctx.accept(pipelines[i])
+                if nxt.is_caboose:
+                    ctx.forward(nxt)
+                    del heads[i]
+                else:
+                    heads[i] = (nxt, 0)
+            else:
+                heads[i] = (buf, pos)
+        if out_vals:
+            out.put(np.asarray(out_vals, dtype="<i8"))
+            ctx.convey(out)
+        ctx.convey_caboose(horizontal)
+
+    merge_stage.fn = merge
+    return prog, merged
+
+
+def test_merge_three_runs_produces_sorted_output():
+    kernel = VirtualTimeKernel()
+    runs = [[1, 4, 7, 10], [2, 5, 8, 11], [3, 6, 9, 12]]
+    prog, merged = build_merge_program(kernel, runs)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert merged == list(range(1, 13))
+
+
+def test_merge_with_uneven_run_lengths():
+    kernel = VirtualTimeKernel()
+    runs = [[5, 6, 7, 8, 9, 10], [1, 2], [3, 4, 11, 12, 13, 14]]
+    prog, merged = build_merge_program(kernel, runs)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert merged == sorted(sum(runs, []))
+
+
+def test_merge_single_run_passthrough():
+    kernel = VirtualTimeKernel()
+    runs = [[2, 4, 6, 8]]
+    prog, merged = build_merge_program(kernel, runs)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert merged == [2, 4, 6, 8]
+
+
+def test_common_stage_gets_one_thread():
+    kernel = VirtualTimeKernel()
+    runs = [[1, 2], [3, 4], [5, 6], [7, 8]]
+    prog, _ = build_merge_program(kernel, runs)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    # 4 verticals: (source+read+sink) x 4 = 12; horizontal: source+collect+
+    # sink = 3; merge: 1 thread total despite being in 5 pipelines.
+    assert prog.thread_count == 16
+
+
+def test_accept_without_pipeline_ambiguous_for_common_stage():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+
+    def bad_merge(ctx):
+        ctx.accept()  # ambiguous: stage is in two pipelines
+
+    common = Stage.source_driven("common", bad_merge)
+    prog.add_pipeline("a", [common], nbuffers=1, buffer_bytes=8, rounds=1)
+    prog.add_pipeline("b", [common], nbuffers=1, buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert "must" in str(exc_info.value.original)
+
+
+def test_map_stage_shared_across_pipelines_rejected():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    shared = Stage.map("shared", lambda ctx, b: b)
+    prog.add_pipeline("a", [shared], nbuffers=1, buffer_bytes=8, rounds=1)
+    prog.add_pipeline("b", [shared], nbuffers=1, buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert isinstance(exc_info.value.original, PipelineStructureError)
+
+
+def test_vertical_and_horizontal_buffer_sizes_differ():
+    """Figure 5: vertical buffers may be small, horizontal ones large."""
+    kernel = VirtualTimeKernel()
+    runs = [[1, 2, 3, 4], [5, 6]]
+    prog, merged = build_merge_program(kernel, runs, out_capacity_values=16)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert merged == [1, 2, 3, 4, 5, 6]
+    vertical = prog.pipelines[0]
+    horizontal = prog.pipelines[-1]
+    assert vertical.buffer_bytes == 16
+    assert horizontal.buffer_bytes == 128

@@ -1,0 +1,187 @@
+"""Edge cases of FGProgram assembly and the stage-context contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import PipelineStructureError, ProcessFailed
+from repro.sim import VirtualTimeKernel
+
+
+def test_two_programs_sequentially_on_one_kernel():
+    """Per-pass programs (like dsort's) run back to back on one kernel."""
+    kernel = VirtualTimeKernel()
+    order = []
+
+    def main():
+        for phase in ("one", "two"):
+            prog = FGProgram(kernel, name=phase)
+
+            def work(ctx, buf, phase=phase):
+                order.append((phase, buf.round))
+                return buf
+
+            prog.add_pipeline("p", [Stage.map(f"w-{phase}", work)],
+                              nbuffers=2, buffer_bytes=8, rounds=3)
+            prog.run()
+
+    kernel.spawn(main, name="main")
+    kernel.run()
+    assert order == [("one", 0), ("one", 1), ("one", 2),
+                     ("two", 0), ("two", 1), ("two", 2)]
+
+
+def test_concurrent_disjoint_programs_on_one_kernel():
+    """Two nodes' programs coexist (every SPMD run does this)."""
+    kernel = VirtualTimeKernel()
+    seen = {0: [], 1: []}
+
+    def main(which):
+        prog = FGProgram(kernel, name=f"n{which}")
+
+        def work(ctx, buf):
+            kernel.sleep(0.5)
+            seen[which].append(buf.round)
+            return buf
+
+        prog.add_pipeline("p", [Stage.map("w", work)], nbuffers=1,
+                          buffer_bytes=8, rounds=4)
+        prog.run()
+
+    kernel.spawn(main, 0)
+    kernel.spawn(main, 1)
+    kernel.run()
+    assert seen == {0: [0, 1, 2, 3], 1: [0, 1, 2, 3]}
+    assert kernel.now() == pytest.approx(2.0)  # ran concurrently
+
+
+def test_program_cannot_start_twice():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    prog.add_pipeline("p", [Stage.map("s", lambda ctx, b: b)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+
+    def main():
+        prog.run()
+        prog.run()
+
+    kernel.spawn(main)
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert isinstance(exc_info.value.original, PipelineStructureError)
+
+
+def test_add_pipeline_after_start_rejected():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    stage = Stage.map("s", lambda ctx, b: b)
+    prog.add_pipeline("p", [stage], nbuffers=1, buffer_bytes=8, rounds=1)
+
+    def main():
+        prog.start()
+        prog.add_pipeline("late", [Stage.map("x", lambda ctx, b: b)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+
+    kernel.spawn(main)
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert isinstance(exc_info.value.original, PipelineStructureError)
+
+
+def test_env_and_shortcuts_reach_stages():
+    kernel = VirtualTimeKernel()
+    sentinel_node = object()
+    captured = {}
+
+    def main():
+        prog = FGProgram(kernel, env={"node": sentinel_node, "extra": 7})
+
+        def probe(ctx, buf):
+            captured["node"] = ctx.node
+            captured["comm"] = ctx.comm
+            captured["extra"] = ctx.env["extra"]
+            return buf
+
+        prog.add_pipeline("p", [Stage.map("probe", probe)], nbuffers=1,
+                          buffer_bytes=8, rounds=1)
+        prog.run()
+
+    kernel.spawn(main)
+    kernel.run()
+    assert captured["node"] is sentinel_node
+    assert captured["comm"] is None
+    assert captured["extra"] == 7
+
+
+def test_source_round_numbers_restart_per_pipeline():
+    kernel = VirtualTimeKernel()
+    rounds = {"a": [], "b": []}
+
+    def main():
+        prog = FGProgram(kernel)
+        for name in ("a", "b"):
+            def rec(ctx, buf, name=name):
+                rounds[name].append(buf.round)
+                return buf
+            prog.add_pipeline(name, [Stage.map(f"r{name}", rec)],
+                              nbuffers=1, buffer_bytes=8, rounds=3)
+        prog.run()
+
+    kernel.spawn(main)
+    kernel.run()
+    assert rounds == {"a": [0, 1, 2], "b": [0, 1, 2]}
+
+
+def test_full_stage_accept_after_caboose_sees_closed_queue_behavior():
+    """A full-control stage must stop accepting after the caboose; the
+    framework does not resurrect the pipeline."""
+    kernel = VirtualTimeKernel()
+    observed = []
+
+    def stage_fn(ctx):
+        while True:
+            buf = ctx.accept()
+            observed.append(buf.is_caboose)
+            if buf.is_caboose:
+                ctx.forward(buf)
+                return
+            ctx.convey(buf)
+
+    def main():
+        prog = FGProgram(kernel)
+        prog.add_pipeline("p", [Stage.source_driven("s", stage_fn)],
+                          nbuffers=2, buffer_bytes=8, rounds=2)
+        prog.run()
+
+    kernel.spawn(main)
+    kernel.run()
+    assert observed == [False, False, True]
+
+
+def test_stage_stats_span_and_wait_relationship():
+    kernel = VirtualTimeKernel()
+
+    def main():
+        prog = FGProgram(kernel)
+
+        def slow_feeder(ctx, buf):
+            kernel.sleep(1.0)
+            return buf
+
+        def fast(ctx, buf):
+            return buf
+
+        fast_stage = Stage.map("fast", fast)
+        prog.add_pipeline("p", [Stage.map("feeder", slow_feeder),
+                                fast_stage],
+                          nbuffers=1, buffer_bytes=8, rounds=5)
+        prog.run()
+        return fast_stage.stats
+
+    proc = kernel.spawn(main)
+    kernel.run()
+    stats = proc.result
+    # the fast stage spends essentially all its span waiting on the feeder
+    assert stats.accept_wait == pytest.approx(5.0, abs=0.1)
+    assert stats.busy == pytest.approx(0.0, abs=0.1)
+    assert stats.span >= stats.accept_wait

@@ -1,0 +1,221 @@
+"""Tests for virtual stages and virtual pipelines (paper Figure 5b).
+
+k identical stages across k pipelines share a single thread and a single
+input queue, and FG automatically virtualizes the sources and sinks of
+those pipelines — so thread count is O(1) in k, not Θ(k).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import PipelineStructureError, ProcessFailed
+from repro.sim import VirtualTimeKernel
+
+
+def build_virtual_program(kernel, k, rounds_per_pipeline=3):
+    """k virtual pipelines, each tagging buffers with its own id."""
+    prog = FGProgram(kernel)
+    seen = {i: [] for i in range(k)}
+
+    def make_fn(i):
+        def fn(ctx, buf):
+            seen[i].append(buf.round)
+            return buf
+        return fn
+
+    for i in range(k):
+        stage = Stage.map(f"acq{i}", make_fn(i), virtual=True,
+                          virtual_group="acquire")
+        prog.add_pipeline(f"v{i}", [stage], nbuffers=2, buffer_bytes=8,
+                          rounds=rounds_per_pipeline)
+    return prog, seen
+
+
+def test_virtual_pipelines_all_complete():
+    kernel = VirtualTimeKernel()
+    prog, seen = build_virtual_program(kernel, k=5, rounds_per_pipeline=4)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert all(seen[i] == [0, 1, 2, 3] for i in range(5))
+
+
+def test_thread_count_constant_in_k():
+    """The headline Figure 5(b) property: threads do not grow with k."""
+    counts = {}
+    for k in (2, 10, 40):
+        kernel = VirtualTimeKernel()
+        prog, _ = build_virtual_program(kernel, k=k, rounds_per_pipeline=1)
+        kernel.spawn(prog.run, name="driver")
+        kernel.run()
+        counts[k] = prog.thread_count
+    # one source group + one sink group + one stage group = 3, for any k
+    assert counts == {2: 3, 10: 3, 40: 3}
+
+
+def test_nonvirtual_equivalent_uses_theta_k_threads():
+    """Control case: the same program without virtual marking spends
+    3 threads per pipeline."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    for i in range(10):
+        prog.add_pipeline(f"v{i}",
+                          [Stage.map(f"acq{i}", lambda ctx, b: b)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert prog.thread_count == 30
+
+
+def test_virtual_pipelines_with_differing_round_counts():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    seen = {}
+
+    for i, rounds in enumerate([1, 4, 2]):
+        def make_fn(i):
+            def fn(ctx, buf):
+                seen.setdefault(i, []).append(buf.round)
+                return buf
+            return fn
+        stage = Stage.map(f"a{i}", make_fn(i), virtual=True,
+                          virtual_group="acquire")
+        prog.add_pipeline(f"v{i}", [stage], nbuffers=2, buffer_bytes=8,
+                          rounds=rounds)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert seen == {0: [0], 1: [0, 1, 2, 3], 2: [0, 1]}
+
+
+def test_virtual_stage_feeding_common_merge_stage():
+    """The full Figure 5(b) shape: virtual acquire stages + one merge
+    stage where the vertical pipelines intersect the horizontal one."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    runs = {0: [1, 4], 1: [2, 5], 2: [3, 6]}
+    merged = []
+
+    def make_read(i):
+        def read(ctx, buf):
+            buf.put(np.asarray([runs[i][buf.round]], dtype="<i8"))
+            return buf
+        return read
+
+    merge_stage = Stage.source_driven("merge", None)
+    verticals = []
+    for i in range(3):
+        read = Stage.map(f"read{i}", make_read(i), virtual=True,
+                         virtual_group="read")
+        p = prog.add_pipeline(f"v{i}", [read, merge_stage],
+                              nbuffers=1, buffer_bytes=8, rounds=2)
+        verticals.append(p)
+
+    def collect(ctx, buf):
+        merged.extend(int(x) for x in buf.view("<i8"))
+        return buf
+
+    horizontal = prog.add_pipeline(
+        "h", [merge_stage, Stage.map("collect", collect)],
+        nbuffers=2, buffer_bytes=16, rounds=None)
+
+    def merge(ctx):
+        heads = {}
+        for i, p in enumerate(verticals):
+            buf = ctx.accept(p)
+            if buf.is_caboose:
+                ctx.forward(buf)
+            else:
+                heads[i] = buf
+        while heads:
+            i = min(heads, key=lambda k: heads[k].view("<i8")[0])
+            buf = heads.pop(i)
+            out = ctx.accept(horizontal)
+            out.put(buf.view("<i8").copy())
+            ctx.convey(out)
+            ctx.convey(buf)
+            nxt = ctx.accept(verticals[i])
+            if nxt.is_caboose:
+                ctx.forward(nxt)
+            else:
+                heads[i] = nxt
+        ctx.convey_caboose(horizontal)
+
+    merge_stage.fn = merge
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert merged == [1, 2, 3, 4, 5, 6]
+    # verticals: 1 source group + 1 sink group + 1 read group = 3
+    # horizontal: source + collect + sink = 3; merge = 1
+    assert prog.thread_count == 7
+
+
+def test_sharing_one_virtual_stage_object_rejected():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    stage = Stage.map("v", lambda ctx, b: b, virtual=True)
+    prog.add_pipeline("a", [stage], nbuffers=1, buffer_bytes=8, rounds=1)
+    prog.add_pipeline("b", [stage], nbuffers=1, buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert isinstance(exc_info.value.original, PipelineStructureError)
+
+
+def test_virtual_stage_must_be_map_style():
+    with pytest.raises(PipelineStructureError):
+        Stage("v", lambda ctx: None, style="full", virtual=True)
+
+
+def test_same_virtual_group_twice_in_one_pipeline_rejected():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    s1 = Stage.map("s1", lambda ctx, b: b, virtual=True, virtual_group="g")
+    s2 = Stage.map("s2", lambda ctx, b: b, virtual=True, virtual_group="g")
+    prog.add_pipeline("p", [s1, s2], nbuffers=1, buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    assert isinstance(exc_info.value.original, PipelineStructureError)
+
+
+def test_two_virtual_groups_in_series():
+    """Pipelines with two virtual stages each: both groups share threads,
+    and buffers flow group 1 -> group 2 correctly."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    out = {i: [] for i in range(4)}
+
+    for i in range(4):
+        def make_first(i):
+            def fn(ctx, buf):
+                buf.tags["v"] = 100 * i + buf.round
+                return buf
+            return fn
+
+        def make_second(i):
+            def fn(ctx, buf):
+                out[i].append(buf.tags["v"])
+                return buf
+            return fn
+
+        first = Stage.map(f"f{i}", make_first(i), virtual=True,
+                          virtual_group="first")
+        second = Stage.map(f"s{i}", make_second(i), virtual=True,
+                           virtual_group="second")
+        prog.add_pipeline(f"p{i}", [first, second],
+                          nbuffers=2, buffer_bytes=8, rounds=3)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert out == {i: [100 * i, 100 * i + 1, 100 * i + 2] for i in range(4)}
+    # 2 stage groups + 1 source group + 1 sink group
+    assert prog.thread_count == 4
+
+
+def test_hundreds_of_virtual_pipelines():
+    """The motivating scale: hundreds of runs without hundreds of threads."""
+    kernel = VirtualTimeKernel()
+    prog, seen = build_virtual_program(kernel, k=300, rounds_per_pipeline=2)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert prog.thread_count == 3
+    assert all(seen[i] == [0, 1] for i in range(300))

@@ -1,0 +1,105 @@
+"""Edge cases of virtual stages: mixed families, EOS from members,
+single-member groups."""
+
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.sim import VirtualTimeKernel
+
+
+def test_single_member_virtual_group_still_works():
+    kernel = VirtualTimeKernel()
+    seen = []
+    prog = FGProgram(kernel)
+    stage = Stage.map("only", lambda ctx, b: seen.append(b.round) or b,
+                      virtual=True, virtual_group="g")
+    prog.add_pipeline("p", [stage], nbuffers=1, buffer_bytes=8, rounds=3)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert seen == [0, 1, 2]
+    assert prog.thread_count == 3  # source group + sink group + stage
+
+
+def test_virtual_and_plain_pipelines_coexist():
+    kernel = VirtualTimeKernel()
+    seen = {"virtual": [], "plain": []}
+    prog = FGProgram(kernel)
+    for i in range(3):
+        stage = Stage.map(
+            f"v{i}", lambda ctx, b: seen["virtual"].append(b.round) or b,
+            virtual=True, virtual_group="g")
+        prog.add_pipeline(f"vp{i}", [stage], nbuffers=1, buffer_bytes=8,
+                          rounds=2)
+    prog.add_pipeline(
+        "plain",
+        [Stage.map("pl", lambda ctx, b: seen["plain"].append(b.round) or b)],
+        nbuffers=1, buffer_bytes=8, rounds=2)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert sorted(seen["virtual"]) == [0, 0, 0, 1, 1, 1]
+    assert seen["plain"] == [0, 1]
+    # 3 family threads + 3 plain-pipeline threads
+    assert prog.thread_count == 6
+
+
+def test_two_disjoint_virtual_families():
+    """Groups that share no pipelines form separate families, each with
+    its own source/sink group."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    for fam in ("a", "b"):
+        for i in range(2):
+            stage = Stage.map(f"{fam}{i}", lambda ctx, b: b, virtual=True,
+                              virtual_group=f"group-{fam}")
+            prog.add_pipeline(f"{fam}-p{i}", [stage], nbuffers=1,
+                              buffer_bytes=8, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    # per family: source group + sink group + stage group = 3; two families
+    assert prog.thread_count == 6
+
+
+def test_virtual_member_can_declare_eos():
+    """A rounds=None virtual pipeline whose member decides when to stop."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    downstream = []
+
+    def make_member(limit):
+        state = {"count": 0}
+
+        def fn(ctx, buf):
+            if state["count"] == limit:
+                ctx.convey_caboose(ctx.pipelines[0])
+                return None
+            state["count"] += 1
+            buf.tags["n"] = state["count"]
+            return buf
+        return fn
+
+    collector = Stage.source_driven("collect", None)
+    pipelines = []
+    for i, limit in enumerate((2, 4)):
+        stage = Stage.map(f"gen{i}", make_member(limit), virtual=True,
+                          virtual_group="gen")
+        pipelines.append(prog.add_pipeline(
+            f"p{i}", [stage, collector], nbuffers=2, buffer_bytes=8,
+            rounds=None))
+
+    def collect(ctx):
+        live = set(range(len(pipelines)))
+        while live:
+            for i in sorted(live):
+                buf = ctx.accept(pipelines[i])
+                if buf.is_caboose:
+                    ctx.forward(buf)
+                    live.discard(i)
+                else:
+                    downstream.append((i, buf.tags["n"]))
+                    ctx.convey(buf)
+
+    collector.fn = collect
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert sorted(downstream) == [(0, 1), (0, 2), (1, 1), (1, 2), (1, 3),
+                                  (1, 4)]

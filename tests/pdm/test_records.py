@@ -1,0 +1,119 @@
+"""Unit tests for record schemas, including property-based roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SortError
+from repro.pdm.records import RecordSchema
+
+
+def test_paper_record_sizes():
+    assert RecordSchema.paper_16().record_bytes == 16
+    assert RecordSchema.paper_64().record_bytes == 64
+    assert RecordSchema.paper_16().dtype.itemsize == 16
+    assert RecordSchema.paper_64().dtype.itemsize == 64
+
+
+def test_key_only_schema():
+    schema = RecordSchema(8)
+    recs = schema.from_keys(np.array([3, 1, 2], dtype=np.uint64))
+    assert recs.dtype.names == ("key",)
+    np.testing.assert_array_equal(recs["key"], [3, 1, 2])
+
+
+def test_record_smaller_than_key_rejected():
+    with pytest.raises(SortError):
+        RecordSchema(4)
+
+
+def test_from_keys_roundtrip_bytes():
+    schema = RecordSchema.paper_16()
+    keys = np.array([10, 7, 99], dtype=np.uint64)
+    recs = schema.from_keys(keys)
+    raw = schema.to_bytes(recs)
+    assert raw.nbytes == 48
+    back = schema.from_bytes(raw)
+    np.testing.assert_array_equal(back["key"], keys)
+
+
+def test_payload_tags_identify_original_record():
+    """Payload stamps let us confirm whole records (not just keys) were
+    permuted correctly."""
+    for schema in (RecordSchema.paper_16(), RecordSchema.paper_64()):
+        keys = np.array([5, 5, 123456789], dtype=np.uint64)
+        recs = schema.from_keys(keys)
+        tags = schema.payload_tags(recs)
+        expected = keys ^ np.uint64(0x9E3779B97F4A7C15)
+        np.testing.assert_array_equal(tags, expected)
+
+
+def test_payload_tags_without_payload_rejected():
+    with pytest.raises(SortError):
+        RecordSchema(8).payload_tags(RecordSchema(8).empty(1))
+
+
+def test_sort_is_stable_and_correct():
+    schema = RecordSchema.paper_16()
+    keys = np.array([5, 1, 5, 0], dtype=np.uint64)
+    recs = schema.from_keys(keys)
+    out = schema.sort(recs)
+    np.testing.assert_array_equal(out["key"], [0, 1, 5, 5])
+    assert schema.is_sorted(out)
+    assert not schema.is_sorted(recs)
+
+
+def test_is_sorted_edge_cases():
+    schema = RecordSchema(8)
+    assert schema.is_sorted(schema.empty(0))
+    assert schema.is_sorted(schema.empty(1))
+
+
+def test_from_bytes_rejects_ragged_length():
+    schema = RecordSchema.paper_16()
+    with pytest.raises(SortError):
+        schema.from_bytes(np.zeros(17, dtype=np.uint8))
+
+
+def test_nbytes_nrecords_inverse():
+    schema = RecordSchema.paper_64()
+    assert schema.nbytes(10) == 640
+    assert schema.nrecords(640) == 10
+    with pytest.raises(SortError):
+        schema.nrecords(641)
+
+
+def test_schema_equality_and_hash():
+    assert RecordSchema(16) == RecordSchema.paper_16()
+    assert RecordSchema(16) != RecordSchema(64)
+    assert hash(RecordSchema(16)) == hash(RecordSchema.paper_16())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                min_size=0, max_size=200),
+       st.sampled_from([8, 16, 64, 100]))
+def test_property_bytes_roundtrip_preserves_records(key_list, record_bytes):
+    schema = RecordSchema(record_bytes)
+    keys = np.array(key_list, dtype=np.uint64)
+    recs = schema.from_keys(keys)
+    back = schema.from_bytes(schema.to_bytes(recs).copy())
+    np.testing.assert_array_equal(back, recs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                min_size=0, max_size=200))
+def test_property_sort_is_permutation_and_ordered(key_list):
+    schema = RecordSchema.paper_16()
+    keys = np.array(key_list, dtype=np.uint64)
+    recs = schema.from_keys(keys)
+    out = schema.sort(recs)
+    assert schema.is_sorted(out)
+    np.testing.assert_array_equal(np.sort(out["key"]), np.sort(keys))
+    # payloads still match their keys after sorting
+    if len(keys):
+        np.testing.assert_array_equal(
+            schema.payload_tags(out),
+            out["key"] ^ np.uint64(0x9E3779B97F4A7C15))

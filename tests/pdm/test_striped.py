@@ -1,0 +1,93 @@
+"""Unit tests for PDM striped files."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+from repro.errors import SortError
+from repro.pdm.records import RecordSchema
+from repro.pdm.striped import StripedFile
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(n_nodes=4, hardware=HardwareModel(
+        disk_bandwidth=1e9, disk_seek=0.0))
+
+
+def test_round_robin_geometry(cluster):
+    schema = RecordSchema(8)
+    sf = StripedFile(cluster, "out", schema, block_records=10)
+    assert [sf.node_of_block(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert [sf.local_block(b) for b in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert sf.locate(0) == (0, 0)
+    assert sf.locate(10) == (1, 0)
+    assert sf.locate(45) == (0, 15)  # block 4 -> node 0 local block 1, +5
+
+
+def test_write_blocks_then_read_all_in_global_order(cluster):
+    schema = RecordSchema(8)
+    sf = StripedFile(cluster, "out", schema, block_records=5)
+    n_blocks = 7
+
+    def main(node, comm):
+        # every node writes the blocks it owns
+        for b in range(n_blocks):
+            if sf.node_of_block(b) == comm.rank:
+                keys = np.arange(b * 5, (b + 1) * 5, dtype=np.uint64)
+                sf.write_block(b, schema.from_keys(keys))
+
+    cluster.run(main)
+    out = sf.read_all()
+    np.testing.assert_array_equal(out["key"], np.arange(35, dtype=np.uint64))
+    assert sf.total_records() == 35
+
+
+def test_partial_block_write_with_offset(cluster):
+    schema = RecordSchema(8)
+    sf = StripedFile(cluster, "out", schema, block_records=4)
+
+    def main(node, comm):
+        if comm.rank == 0:
+            sf.write_block(0, schema.from_keys(
+                np.array([0, 1], dtype=np.uint64)))
+            sf.write_block(0, schema.from_keys(
+                np.array([2, 3], dtype=np.uint64)), offset_records=2)
+
+    cluster.run(main)
+    out = sf.read_all()
+    np.testing.assert_array_equal(out["key"], [0, 1, 2, 3])
+
+
+def test_block_overflow_rejected(cluster):
+    schema = RecordSchema(8)
+    sf = StripedFile(cluster, "out", schema, block_records=4)
+
+    def main(node, comm):
+        if comm.rank == 0:
+            sf.write_block(0, schema.empty(3), offset_records=2)
+
+    with pytest.raises(Exception) as exc_info:
+        cluster.run(main)
+    assert isinstance(exc_info.value.original, SortError)
+
+
+def test_read_block_charges_owner_disk(cluster):
+    schema = RecordSchema(8)
+    sf = StripedFile(cluster, "out", schema, block_records=4)
+
+    def main(node, comm):
+        if comm.rank == 1:
+            sf.write_block(1, schema.from_keys(
+                np.array([9, 9, 9, 9], dtype=np.uint64)))
+            sf.read_block(1)
+
+    cluster.run(main)
+    assert cluster.node(1).disk.bytes_written == 32
+    assert cluster.node(1).disk.bytes_read == 32
+    assert cluster.node(0).disk.bytes_total == 0
+
+
+def test_bad_block_records_rejected(cluster):
+    with pytest.raises(SortError):
+        StripedFile(cluster, "out", RecordSchema(8), block_records=0)

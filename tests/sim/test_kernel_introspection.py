@@ -1,0 +1,84 @@
+"""Introspection and bookkeeping details of the kernels."""
+
+import pytest
+
+from repro.sim import Process, ProcessState, VirtualTimeKernel
+
+
+def test_in_process_distinguishes_threads():
+    kernel = VirtualTimeKernel()
+    observations = {}
+
+    def proc():
+        observations["inside"] = kernel.in_process()
+
+    kernel.spawn(proc)
+    assert not kernel.in_process()
+    kernel.run()
+    assert observations["inside"] is True
+
+
+def test_processes_snapshot_is_a_copy():
+    kernel = VirtualTimeKernel()
+    kernel.spawn(lambda: None, name="a")
+    snapshot = kernel.processes
+    kernel.spawn(lambda: None, name="b")
+    assert [p.name for p in snapshot] == ["a"]
+    assert [p.name for p in kernel.processes] == ["a", "b"]
+    kernel.run()
+
+
+def test_process_states_progress():
+    kernel = VirtualTimeKernel()
+    proc = kernel.spawn(lambda: kernel.sleep(1.0), name="p")
+    assert proc.state is ProcessState.NEW
+    assert proc.alive
+    kernel.run()
+    assert proc.state is ProcessState.DONE
+    assert not proc.alive
+
+
+def test_failed_process_state_and_exception():
+    kernel = VirtualTimeKernel()
+
+    def boom():
+        raise RuntimeError("x")
+
+    proc = kernel.spawn(boom)
+    with pytest.raises(Exception):
+        kernel.run()
+    assert proc.state is ProcessState.FAILED
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_switch_counter_grows_with_activity():
+    kernel = VirtualTimeKernel()
+
+    def proc():
+        for _ in range(10):
+            kernel.sleep(0.1)
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert kernel.switches >= 10
+
+
+def test_default_process_names_are_unique():
+    kernel = VirtualTimeKernel()
+    procs = [kernel.spawn(lambda: None) for _ in range(5)]
+    names = [p.name for p in procs]
+    assert len(set(names)) == 5
+    kernel.run()
+
+
+def test_waiting_on_is_cleared_after_resume():
+    kernel = VirtualTimeKernel()
+    seen = {}
+
+    def proc():
+        kernel.sleep(1.0)
+        seen["after"] = kernel.current_process().waiting_on
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert seen["after"] is None

@@ -1,0 +1,149 @@
+"""Property-based tests for the simulation substrate.
+
+Two families:
+
+* model-based channel testing — random op sequences against a reference
+  deque model;
+* randomized kernel programs — arbitrary sleep/channel interaction graphs
+  must be deterministic (identical timelines across runs) and must
+  conserve every message.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Channel, VirtualTimeKernel
+
+
+# ---------------------------------------------------------------------------
+# model-based channel check (single process: no blocking allowed)
+# ---------------------------------------------------------------------------
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 99)),
+        st.tuples(st.just("get"), st.just(0)),
+    ),
+    min_size=0, max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(op_strategy, st.sampled_from([None, 0, 1, 3, 10]))
+def test_channel_matches_deque_model(ops, capacity):
+    kernel = VirtualTimeKernel()
+    results = []
+
+    def proc():
+        ch = Channel(kernel, capacity=capacity)
+        model: deque = deque()
+        for op, value in ops:
+            if op == "put":
+                ok = ch.try_put(value)
+                model_ok = capacity is None or len(model) < capacity
+                assert ok == model_ok
+                if ok:
+                    model.append(value)
+            else:
+                ok, item = ch.try_get()
+                if model:
+                    assert ok and item == model.popleft()
+                else:
+                    assert not ok and item is None
+            assert len(ch) == len(model)
+        results.append(True)
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert results == [True]
+
+
+# ---------------------------------------------------------------------------
+# randomized producer/consumer meshes: determinism + conservation
+# ---------------------------------------------------------------------------
+
+mesh_strategy = st.tuples(
+    st.integers(min_value=1, max_value=4),            # producers
+    st.integers(min_value=1, max_value=4),            # consumers
+    st.integers(min_value=1, max_value=12),           # items per producer
+    st.lists(st.floats(min_value=0.0, max_value=2.0,
+                       allow_nan=False), min_size=8, max_size=8),
+    st.sampled_from([None, 1, 2, 5]),                 # channel capacity
+)
+
+
+def run_mesh(n_producers, n_consumers, per_producer, delays, capacity):
+    kernel = VirtualTimeKernel()
+    ch = Channel(kernel, capacity=capacity)
+    total = n_producers * per_producer
+    consumed = []
+
+    def producer(pid):
+        for i in range(per_producer):
+            kernel.sleep(delays[(pid + i) % len(delays)])
+            ch.put((pid, i))
+
+    def consumer(cid):
+        while True:
+            got = ch.get()
+            if got is None:  # poison pill
+                return
+            consumed.append((kernel.now(), cid, got))
+            kernel.sleep(delays[(cid + len(consumed)) % len(delays)])
+
+    def coordinator(producers, consumers):
+        for proc in producers:
+            proc.join()
+        for _ in consumers:
+            ch.put(None)
+
+    producers = [kernel.spawn(producer, p, name=f"prod{p}")
+                 for p in range(n_producers)]
+    consumers = [kernel.spawn(consumer, c, name=f"cons{c}")
+                 for c in range(n_consumers)]
+    kernel.spawn(coordinator, producers, consumers, name="coord")
+    kernel.run()
+    return kernel.now(), consumed
+
+
+@settings(max_examples=40, deadline=None)
+@given(mesh_strategy)
+def test_mesh_conserves_items_and_is_deterministic(params):
+    end1, consumed1 = run_mesh(*params)
+    end2, consumed2 = run_mesh(*params)
+    # determinism: identical timelines, item for item
+    assert end1 == end2
+    assert consumed1 == consumed2
+    # conservation: every produced item consumed exactly once
+    n_producers, _, per_producer, _, _ = params
+    items = [got for _, _, got in consumed1]
+    assert sorted(items) == [(p, i) for p in range(n_producers)
+                             for i in range(per_producer)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                min_size=1, max_size=20))
+def test_parallel_sleeps_end_at_max(durations):
+    kernel = VirtualTimeKernel()
+    for i, duration in enumerate(durations):
+        kernel.spawn(lambda d=duration: kernel.sleep(d), name=f"s{i}")
+    kernel.run()
+    assert kernel.now() == pytest.approx(max(durations))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+                min_size=1, max_size=15))
+def test_sequential_sleeps_end_at_sum(durations):
+    kernel = VirtualTimeKernel()
+
+    def proc():
+        for duration in durations:
+            kernel.sleep(duration)
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert kernel.now() == pytest.approx(sum(durations))

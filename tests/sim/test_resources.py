@@ -1,0 +1,168 @@
+"""Unit tests for counted resources: contention, fairness, accounting."""
+
+import pytest
+
+from repro.sim import Resource, VirtualTimeKernel
+
+
+def test_uncontended_acquire_is_immediate():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=2)
+    times = []
+
+    def proc():
+        with res.request():
+            times.append(kernel.now())
+            kernel.sleep(1.0)
+
+    kernel.spawn(proc)
+    kernel.spawn(proc)
+    kernel.run()
+    assert times == [0.0, 0.0]
+    assert kernel.now() == 1.0
+
+
+def test_contention_serializes():
+    """Three 2-second jobs on a capacity-1 resource take 6 seconds."""
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=1, name="disk-arm")
+    starts = []
+
+    def proc():
+        with res.request():
+            starts.append(kernel.now())
+            kernel.sleep(2.0)
+
+    for _ in range(3):
+        kernel.spawn(proc)
+    kernel.run()
+    assert starts == [0.0, 2.0, 4.0]
+    assert kernel.now() == 6.0
+
+
+def test_fifo_fairness():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=1)
+    order = []
+
+    def proc(tag, arrive):
+        kernel.sleep(arrive)
+        with res.request():
+            order.append(tag)
+            kernel.sleep(10.0)
+
+    kernel.spawn(proc, "first", 0.0)
+    kernel.spawn(proc, "second", 1.0)
+    kernel.spawn(proc, "third", 2.0)
+    kernel.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_multi_unit_acquire_head_of_line():
+    """A 2-unit request at the head is not overtaken by later 1-unit ones."""
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=2, name="cores")
+    order = []
+
+    def holder():
+        res.acquire(2)
+        kernel.sleep(5.0)
+        res.release(2)
+
+    def big():
+        kernel.sleep(1.0)
+        res.acquire(2)
+        order.append(("big", kernel.now()))
+        kernel.sleep(1.0)
+        res.release(2)
+
+    def small():
+        kernel.sleep(2.0)  # arrives after big is queued
+        res.acquire(1)
+        order.append(("small", kernel.now()))
+        res.release(1)
+
+    kernel.spawn(holder)
+    kernel.spawn(big)
+    kernel.spawn(small)
+    kernel.run()
+    assert order == [("big", 5.0), ("small", 6.0)]
+
+
+def test_release_overflow_rejected():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=1)
+
+    def proc():
+        res.release(1)  # nothing acquired
+
+    kernel.spawn(proc)
+    with pytest.raises(Exception) as exc_info:
+        kernel.run()
+    assert "overflow" in str(exc_info.value.original)
+
+
+def test_acquire_more_than_capacity_rejected():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=2)
+
+    def proc():
+        res.acquire(3)
+
+    kernel.spawn(proc)
+    with pytest.raises(Exception) as exc_info:
+        kernel.run()
+    assert "capacity" in str(exc_info.value.original)
+
+
+def test_capacity_below_one_rejected():
+    kernel = VirtualTimeKernel()
+    with pytest.raises(ValueError):
+        Resource(kernel, capacity=0)
+
+
+def test_utilization_accounting():
+    """One process holds a capacity-1 resource for 3 s of a 6 s run."""
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=1)
+
+    def proc():
+        kernel.sleep(1.0)
+        with res.request():
+            kernel.sleep(3.0)
+        kernel.sleep(2.0)
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert kernel.now() == 6.0
+    assert res.busy_time() == pytest.approx(3.0)
+    assert res.utilization(6.0) == pytest.approx(0.5)
+
+
+def test_utilization_with_parallel_holders():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=2)
+
+    def proc():
+        with res.request():
+            kernel.sleep(4.0)
+
+    kernel.spawn(proc)
+    kernel.spawn(proc)
+    kernel.run()
+    assert res.busy_time() == pytest.approx(8.0)  # 2 units x 4 s
+    assert res.utilization(4.0) == pytest.approx(1.0)
+
+
+def test_acquisitions_counter():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=1)
+
+    def proc():
+        for _ in range(5):
+            with res.request():
+                kernel.sleep(0.1)
+
+    kernel.spawn(proc)
+    kernel.run()
+    assert res.acquisitions == 5

@@ -1,0 +1,80 @@
+"""Tests for the four-pass csort (the un-coalesced Section-III variant)."""
+
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+from repro.pdm.records import RecordSchema
+from repro.sorting.columnsort import (
+    CsortConfig,
+    run_csort,
+    run_csort4,
+)
+from repro.sorting.verify import verify_striped_output
+from repro.workloads.distributions import PAPER_DISTRIBUTIONS
+from repro.workloads.generator import generate_input
+
+SCHEMA = RecordSchema.paper_16()
+
+
+def fast_hw():
+    return HardwareModel(net_bandwidth=1e9, net_latency=1e-6,
+                         disk_bandwidth=1e9, disk_seek=1e-5)
+
+
+def run_case(n_nodes=4, n_per_node=2048, distribution="uniform", seed=0):
+    cluster = Cluster(n_nodes=n_nodes, hardware=fast_hw())
+    manifest = generate_input(cluster, SCHEMA, n_per_node, distribution,
+                              seed=seed)
+    config = CsortConfig(out_block_records=128)
+    reports = cluster.run(run_csort4, SCHEMA, config)
+    verify_striped_output(cluster, manifest, config.output_file,
+                          config.out_block_records)
+    return cluster, reports
+
+
+@pytest.mark.parametrize("distribution", PAPER_DISTRIBUTIONS)
+def test_csort4_sorts_every_paper_distribution(distribution):
+    run_case(distribution=distribution)
+
+
+def test_csort4_single_node():
+    run_case(n_nodes=1, n_per_node=4096)
+
+
+def test_csort4_two_nodes():
+    run_case(n_nodes=2, n_per_node=4096)
+
+
+def test_csort4_has_four_positive_pass_times():
+    _, reports = run_case()
+    for rep in reports:
+        assert len(rep.pass_times) == 4
+        assert all(t > 0 for t in rep.pass_times)
+        assert rep.total_time == pytest.approx(sum(rep.pass_times))
+
+
+def test_csort4_four_passes_of_io():
+    """Four passes = 8x the data volume through the disks."""
+    cluster, _ = run_case()
+    total_bytes = 4 * 2048 * 16
+    assert cluster.total_bytes_io() == pytest.approx(8 * total_bytes,
+                                                     rel=0.01)
+
+
+def test_coalescing_saves_a_pass():
+    """Section III's point: the 3-pass version beats the 4-pass version
+    because steps 5-8 coalesce into one pass."""
+    times = {}
+    for name, main in (("three", run_csort), ("four", run_csort4)):
+        cluster = Cluster(n_nodes=4,
+                          hardware=HardwareModel.scaled_paper_cluster())
+        manifest = generate_input(cluster, SCHEMA, 16384, "uniform",
+                                  seed=7)
+        config = CsortConfig(out_block_records=512)
+        cluster.run(main, SCHEMA, config)
+        verify_striped_output(cluster, manifest, config.output_file,
+                              config.out_block_records)
+        times[name] = cluster.kernel.now()
+    assert times["three"] < times["four"]
+    # the saving is roughly one pass out of four
+    assert times["three"] / times["four"] == pytest.approx(0.75, abs=0.12)

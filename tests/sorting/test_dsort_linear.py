@@ -1,0 +1,68 @@
+"""Tests for the single-linear-pipeline dsort (Section-VIII ablation).
+
+Correctness must be identical to the multi-pipeline dsort; performance
+must be worse (that is the paper's hypothesis the ablation bench tests).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+from repro.pdm.records import RecordSchema
+from repro.sorting.dsort import DsortConfig, run_dsort, run_dsort_linear
+from repro.sorting.verify import verify_striped_output
+from repro.workloads.generator import generate_input
+
+SCHEMA = RecordSchema.paper_16()
+
+
+def run_linear_case(n_nodes=4, n_per_node=2000, distribution="uniform",
+                    config=None, seed=0):
+    config = config or DsortConfig(block_records=256,
+                                   vertical_block_records=64,
+                                   out_block_records=256, oversample=32,
+                                   seed=seed)
+    cluster = Cluster(n_nodes=n_nodes, hardware=HardwareModel(
+        net_bandwidth=1e9, net_latency=1e-6,
+        disk_bandwidth=1e9, disk_seek=1e-5))
+    manifest = generate_input(cluster, SCHEMA, n_per_node, distribution,
+                              seed=seed)
+    reports = cluster.run(run_dsort_linear, SCHEMA, config)
+    verify_striped_output(cluster, manifest, config.output_file,
+                          config.out_block_records)
+    return cluster, reports, config
+
+
+@pytest.mark.parametrize("distribution",
+                         ["uniform", "all_equal", "poisson"])
+def test_linear_dsort_sorts_correctly(distribution):
+    run_linear_case(distribution=distribution)
+
+
+def test_linear_dsort_single_node():
+    run_linear_case(n_nodes=1, n_per_node=1000)
+
+
+def test_linear_dsort_odd_sizes():
+    config = DsortConfig(block_records=100, vertical_block_records=37,
+                         out_block_records=83, oversample=16)
+    run_linear_case(n_nodes=3, n_per_node=997, config=config)
+
+
+def test_linear_dsort_is_slower_than_multi_pipeline():
+    """The Section-VIII hypothesis: multiple pipelines beat single linear
+    pipelines, under paper-like hardware where overlap matters."""
+    schema = SCHEMA
+    config = DsortConfig(block_records=2048, vertical_block_records=512,
+                         out_block_records=2048, oversample=16)
+    times = {}
+    for name, main in (("multi", run_dsort), ("linear", run_dsort_linear)):
+        cluster = Cluster(n_nodes=4,
+                          hardware=HardwareModel.paper_cluster())
+        manifest = generate_input(cluster, schema, 32768, "uniform",
+                                  seed=11)
+        cluster.run(main, schema, config)
+        verify_striped_output(cluster, manifest, config.output_file,
+                              config.out_block_records)
+        times[name] = cluster.kernel.now()
+    assert times["linear"] > times["multi"]

@@ -1,0 +1,109 @@
+"""Failure injection: errors anywhere in a sorting run must surface as a
+clean ProcessFailed with all threads unwound — never a hang or a silent
+partial result."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+from repro.cluster.storage import MemoryStorage
+from repro.errors import ProcessFailed, StorageError
+from repro.pdm.records import RecordSchema
+from repro.sorting.columnsort import CsortConfig, run_csort
+from repro.sorting.dsort import DsortConfig, run_dsort
+from repro.workloads.generator import generate_input
+
+SCHEMA = RecordSchema.paper_16()
+
+
+def fast_hw():
+    return HardwareModel(net_bandwidth=1e9, net_latency=1e-6,
+                         disk_bandwidth=1e9, disk_seek=1e-5)
+
+
+class FailingStorage(MemoryStorage):
+    """Storage that fails the Nth write after being armed (a simulated
+    media error during the experiment, not during dataset setup)."""
+
+    def __init__(self, fail_at_write: int, armed: bool = False):
+        super().__init__()
+        self.writes = 0
+        self.fail_at_write = fail_at_write
+        self.armed = armed
+
+    def write(self, name, offset, data):
+        if self.armed:
+            self.writes += 1
+            if self.writes == self.fail_at_write:
+                raise StorageError("injected media error")
+        super().write(name, offset, data)
+
+
+def assert_all_threads_unwound(cluster):
+    for proc in cluster.kernel.processes:
+        assert not proc.alive, f"leaked process {proc.name}"
+
+
+@pytest.mark.parametrize("fail_at", [1, 5, 10])
+def test_dsort_disk_failure_mid_run(fail_at):
+    storages = [MemoryStorage() for _ in range(3)]
+    failing = FailingStorage(fail_at_write=fail_at)
+    storages[1] = failing
+    cluster = Cluster(n_nodes=3, hardware=fast_hw(), storages=storages)
+    generate_input(cluster, SCHEMA, 1000, "uniform")
+    failing.armed = True
+    config = DsortConfig(block_records=128, vertical_block_records=64,
+                         out_block_records=128, oversample=8)
+    with pytest.raises(ProcessFailed) as exc_info:
+        cluster.run(run_dsort, SCHEMA, config)
+    assert "injected media error" in repr(exc_info.value.original)
+    assert_all_threads_unwound(cluster)
+
+
+def test_csort_disk_failure_mid_run():
+    storages = [MemoryStorage() for _ in range(2)]
+    failing = FailingStorage(fail_at_write=3)
+    storages[0] = failing
+    cluster = Cluster(n_nodes=2, hardware=fast_hw(), storages=storages)
+    generate_input(cluster, SCHEMA, 2048, "uniform")
+    failing.armed = True
+    with pytest.raises(ProcessFailed):
+        cluster.run(run_csort, SCHEMA, CsortConfig(out_block_records=64))
+    assert_all_threads_unwound(cluster)
+
+
+def test_dsort_missing_input_file():
+    cluster = Cluster(n_nodes=2, hardware=fast_hw())
+    generate_input(cluster, SCHEMA, 500, "uniform")
+    cluster.node(1).disk.delete("input")
+    with pytest.raises(ProcessFailed):
+        cluster.run(run_dsort, SCHEMA,
+                    DsortConfig(block_records=64,
+                                vertical_block_records=32,
+                                out_block_records=64, oversample=4))
+    assert_all_threads_unwound(cluster)
+
+
+def test_failure_does_not_corrupt_determinism_of_later_runs():
+    """A failed run on one cluster must not affect a fresh cluster."""
+    def good_run():
+        cluster = Cluster(n_nodes=2, hardware=fast_hw())
+        generate_input(cluster, SCHEMA, 500, "uniform", seed=3)
+        cluster.run(run_dsort, SCHEMA,
+                    DsortConfig(block_records=64,
+                                vertical_block_records=32,
+                                out_block_records=64, oversample=4))
+        return cluster.kernel.now()
+
+    before = good_run()
+    storages = [FailingStorage(2, armed=False), MemoryStorage()]
+    cluster = Cluster(n_nodes=2, hardware=fast_hw(), storages=storages)
+    generate_input(cluster, SCHEMA, 500, "uniform", seed=3)
+    storages[0].armed = True
+    with pytest.raises(ProcessFailed):
+        cluster.run(run_dsort, SCHEMA,
+                    DsortConfig(block_records=64,
+                                vertical_block_records=32,
+                                out_block_records=64, oversample=4))
+    after = good_run()
+    assert before == after

@@ -1,0 +1,175 @@
+"""Tests for splitter selection and extended-key partitioning.
+
+Includes the paper's Section-VI claim as a property: with oversampling and
+extended keys, "all partition sizes were at most 10% greater than the
+average" — even for all-equal keys, where plain splitters would send
+everything to one node.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, HardwareModel
+from repro.pdm.records import RecordSchema
+from repro.sorting.dsort.sampling import (
+    Splitters,
+    partition_ids,
+    select_splitters,
+)
+from repro.workloads.generator import generate_input
+
+SCHEMA = RecordSchema.paper_16()
+
+
+def fast_cluster(n):
+    hw = HardwareModel(net_bandwidth=1e12, net_latency=0.0,
+                       disk_bandwidth=1e12, disk_seek=0.0)
+    return Cluster(n_nodes=n, hardware=hw)
+
+
+def select_on_cluster(n_nodes, n_per_node, distribution, oversample=32,
+                      seed=0):
+    cluster = fast_cluster(n_nodes)
+    generate_input(cluster, SCHEMA, n_per_node, distribution, seed=seed)
+
+    def main(node, comm):
+        return select_splitters(node, comm, SCHEMA, "input",
+                                oversample=oversample, seed=seed)
+
+    return cluster, cluster.run(main)
+
+
+def test_all_ranks_get_identical_splitters():
+    _, results = select_on_cluster(4, 500, "uniform")
+    first = results[0]
+    for sp in results[1:]:
+        np.testing.assert_array_equal(sp.keys, first.keys)
+        np.testing.assert_array_equal(sp.nodes, first.nodes)
+        np.testing.assert_array_equal(sp.indices, first.indices)
+
+
+def test_splitter_count_is_p_minus_one():
+    for p in (1, 2, 4, 8):
+        _, results = select_on_cluster(p, 300, "uniform")
+        assert results[0].n_partitions == p
+        assert len(results[0].keys) == p - 1
+
+
+def test_splitters_sorted_by_extended_key():
+    _, results = select_on_cluster(4, 500, "poisson")
+    sp = results[0]
+    ext = list(zip(sp.keys.tolist(), sp.nodes.tolist(),
+                   sp.indices.tolist()))
+    assert ext == sorted(ext)
+
+
+def partition_balance(distribution, n_nodes=8, n_per_node=2000,
+                      oversample=64, seed=0):
+    """Max partition size over average, simulating pass-1 routing."""
+    cluster, results = select_on_cluster(n_nodes, n_per_node, distribution,
+                                         oversample=oversample, seed=seed)
+    splitters = results[0]
+    from repro.pdm.blockfile import RecordFile
+    counts = np.zeros(n_nodes, dtype=np.int64)
+    for rank, node in enumerate(cluster.nodes):
+        keys = RecordFile(node.disk, "input", SCHEMA).read_all()["key"]
+        pos = np.arange(len(keys), dtype=np.int64)
+        part = partition_ids(keys, rank, pos, splitters)
+        counts += np.bincount(part, minlength=n_nodes)
+    assert counts.sum() == n_nodes * n_per_node
+    return counts.max() / counts.mean()
+
+
+@pytest.mark.parametrize("distribution",
+                         ["uniform", "all_equal", "std_normal", "poisson"])
+def test_partition_sizes_within_ten_percent_of_average(distribution):
+    """The paper's balance claim, on its four distributions."""
+    assert partition_balance(distribution) <= 1.10
+
+
+def test_all_equal_keys_balanced_only_by_extension():
+    """With identical keys, extended keys are the only thing standing
+    between us and a single hot partition."""
+    ratio = partition_balance("all_equal")
+    assert ratio <= 1.10
+
+
+def test_partition_ids_basic_ranges():
+    sp = Splitters(keys=np.array([10, 20], dtype=np.uint64),
+                   nodes=np.array([0, 0], dtype=np.int64),
+                   indices=np.array([0, 1], dtype=np.int64))
+    keys = np.array([5, 10, 15, 20, 25], dtype=np.uint64)
+    pos = np.array([100, 101, 102, 103, 104], dtype=np.int64)
+    part = partition_ids(keys, 1, pos, sp)
+    # key 5 < splitter0; key 10 ties splitter0 but (1,101) > (0,0) -> right
+    np.testing.assert_array_equal(part, [0, 1, 1, 2, 2])
+
+
+def test_partition_ids_tie_resolution_by_extension():
+    # splitter has key 10, origin (node 1, index 50)
+    sp = Splitters(keys=np.array([10], dtype=np.uint64),
+                   nodes=np.array([1], dtype=np.int64),
+                   indices=np.array([50], dtype=np.int64))
+    keys = np.full(3, 10, dtype=np.uint64)
+    # record (1, 49) <= splitter -> partition 0; (1, 50) == splitter ->
+    # partition 0 (strictly-below count is 0); (1, 51) -> partition 1
+    part = partition_ids(keys, 1, np.array([49, 50, 51]), sp)
+    np.testing.assert_array_equal(part, [0, 0, 1])
+    # records on an earlier node all land left of the splitter
+    part0 = partition_ids(keys, 0, np.array([49, 50, 51]), sp)
+    np.testing.assert_array_equal(part0, [0, 0, 0])
+    # records on a later node all land right
+    part2 = partition_ids(keys, 2, np.array([49, 50, 51]), sp)
+    np.testing.assert_array_equal(part2, [1, 1, 1])
+
+
+def test_partition_respects_global_order():
+    """Every record in partition i has extended key below every record in
+    partition i+1 (checked on keys only, allowing equal keys on the
+    boundary)."""
+    cluster, results = select_on_cluster(4, 1000, "poisson")
+    splitters = results[0]
+    from repro.pdm.blockfile import RecordFile
+    maxima = [np.uint64(0)] * 4
+    minima = [np.uint64(np.iinfo(np.uint64).max)] * 4
+    for rank, node in enumerate(cluster.nodes):
+        keys = RecordFile(node.disk, "input", SCHEMA).read_all()["key"]
+        part = partition_ids(keys, rank,
+                             np.arange(len(keys), dtype=np.int64),
+                             splitters)
+        for p in range(4):
+            sel = keys[part == p]
+            if len(sel):
+                maxima[p] = max(maxima[p], sel.max())
+                minima[p] = min(minima[p], sel.min())
+    for p in range(3):
+        assert maxima[p] <= minima[p + 1]
+
+
+def test_single_node_no_splitters():
+    _, results = select_on_cluster(1, 100, "uniform")
+    sp = results[0]
+    assert sp.n_partitions == 1
+    part = partition_ids(np.array([1, 2], dtype=np.uint64), 0,
+                         np.array([0, 1]), sp)
+    np.testing.assert_array_equal(part, [0, 0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                max_size=200),
+       st.integers(min_value=2, max_value=6))
+def test_property_partition_ids_monotone_in_extended_key(key_list, n_parts):
+    """Records sorted by extended key get non-decreasing partition ids."""
+    keys = np.array(sorted(key_list), dtype=np.uint64)
+    pos = np.arange(len(keys), dtype=np.int64)  # ties break by position
+    # build splitters from a sample of the same records (like sampling does)
+    picks = np.linspace(0, len(keys) - 1, n_parts - 1).astype(int)
+    sp = Splitters(keys=keys[picks],
+                   nodes=np.zeros(n_parts - 1, dtype=np.int64),
+                   indices=pos[picks])
+    part = partition_ids(keys, 0, pos, sp)
+    assert (np.diff(part) >= 0).all()
+    assert part.min() >= 0 and part.max() <= n_parts - 1

@@ -1,0 +1,55 @@
+"""Property-based end-to-end sorting tests: random shapes, random
+distributions, tiny scales — both sorters must always produce verified
+striped output."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, HardwareModel
+from repro.pdm.records import RecordSchema
+from repro.sorting.columnsort import CsortConfig, run_csort
+from repro.sorting.dsort import DsortConfig, run_dsort
+from repro.sorting.verify import verify_striped_output
+from repro.workloads.distributions import DISTRIBUTIONS
+from repro.workloads.generator import generate_input
+
+
+def fast_hw():
+    return HardwareModel(net_bandwidth=1e9, net_latency=1e-6,
+                         disk_bandwidth=1e9, disk_seek=1e-5)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=50, max_value=700),
+       st.sampled_from(sorted(DISTRIBUTIONS)),
+       st.integers(min_value=0, max_value=100))
+def test_property_dsort_always_correct(n_nodes, n_per_node, distribution,
+                                       seed):
+    cluster = Cluster(n_nodes=n_nodes, hardware=fast_hw())
+    manifest = generate_input(cluster, RecordSchema.paper_16(),
+                              n_per_node, distribution, seed=seed)
+    config = DsortConfig(block_records=64, vertical_block_records=32,
+                         out_block_records=48, oversample=8, seed=seed)
+    cluster.run(run_dsort, RecordSchema.paper_16(), config)
+    verify_striped_output(cluster, manifest, config.output_file,
+                          config.out_block_records)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sampled_from([(1, 2048), (2, 2048), (2, 4096), (4, 2048),
+                        (4, 8192)]),
+       st.sampled_from(sorted(DISTRIBUTIONS)),
+       st.integers(min_value=0, max_value=100))
+def test_property_csort_always_correct(shape, distribution, seed):
+    n_nodes, n_per_node = shape
+    cluster = Cluster(n_nodes=n_nodes, hardware=fast_hw())
+    manifest = generate_input(cluster, RecordSchema.paper_16(),
+                              n_per_node, distribution, seed=seed)
+    config = CsortConfig(out_block_records=32)
+    cluster.run(run_csort, RecordSchema.paper_16(), config)
+    verify_striped_output(cluster, manifest, config.output_file,
+                          config.out_block_records)

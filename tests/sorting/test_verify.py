@@ -1,0 +1,111 @@
+"""Unit tests for the output verifier: each failure mode must be caught
+with a precise diagnosis (a verifier that cannot fail proves nothing)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+from repro.errors import VerificationError
+from repro.pdm.records import RecordSchema
+from repro.pdm.striped import StripedFile
+from repro.sorting.verify import verify_records_sorted, verify_striped_output
+from repro.workloads.generator import generate_input
+
+SCHEMA = RecordSchema.paper_16()
+BLOCK = 8
+
+
+def make_correct_output(n_nodes=2, n_per_node=32, seed=0):
+    """A cluster whose striped 'output' file is the correct sort of its
+    generated input."""
+    cluster = Cluster(n_nodes=n_nodes, hardware=HardwareModel())
+    manifest = generate_input(cluster, SCHEMA, n_per_node, "uniform",
+                              seed=seed)
+    striped = StripedFile(cluster, "output", SCHEMA, BLOCK)
+    records = SCHEMA.from_keys(manifest.sorted_keys)
+    total = len(records)
+    for b in range(-(-total // BLOCK)):
+        lo, hi = b * BLOCK, min((b + 1) * BLOCK, total)
+        striped.locals[striped.node_of_block(b)].poke(
+            striped.local_block(b) * BLOCK, records[lo:hi])
+    return cluster, manifest, striped
+
+
+def test_correct_output_passes():
+    cluster, manifest, _ = make_correct_output()
+    verify_striped_output(cluster, manifest, "output", BLOCK)
+
+
+def test_detects_unsorted_output():
+    cluster, manifest, striped = make_correct_output()
+    # swap the first two records (they are distinct with high probability)
+    first = striped.locals[0].peek(0, 2)
+    if first["key"][0] == first["key"][1]:
+        pytest.skip("improbable tie")
+    striped.locals[0].poke(0, first[::-1].copy())
+    with pytest.raises(VerificationError) as exc_info:
+        verify_striped_output(cluster, manifest, "output", BLOCK)
+    assert "not sorted" in str(exc_info.value) or "multiset" in str(
+        exc_info.value)
+
+
+def test_detects_missing_records():
+    cluster, manifest, striped = make_correct_output()
+    last = striped.locals[-1]
+    last.disk.storage.truncate("output",
+                               (last.n_records - 1) * SCHEMA.record_bytes)
+    with pytest.raises(VerificationError) as exc_info:
+        verify_striped_output(cluster, manifest, "output", BLOCK)
+    assert "expected" in str(exc_info.value)
+
+
+def test_detects_wrong_key_multiset():
+    cluster, manifest, striped = make_correct_output()
+    # overwrite the globally last record with the maximum key: the output
+    # stays sorted but the multiset no longer matches the input
+    last_block = striped.total_records() // BLOCK - 1
+    last = striped.locals[striped.node_of_block(last_block)]
+    rec = SCHEMA.from_keys(np.array([2**64 - 1], dtype=np.uint64))
+    last.poke(last.n_records - 1, rec)
+    with pytest.raises(VerificationError) as exc_info:
+        verify_striped_output(cluster, manifest, "output", BLOCK)
+    assert "multiset" in str(exc_info.value)
+
+
+def test_detects_corrupted_payload():
+    cluster, manifest, striped = make_correct_output()
+    # flip a payload byte of one record without touching its key
+    local = striped.locals[0]
+    raw = local.disk.storage.read("output", 8, 1)
+    local.disk.storage.write("output", 8,
+                             np.array([raw[0] ^ 0xFF], dtype=np.uint8))
+    with pytest.raises(VerificationError) as exc_info:
+        verify_striped_output(cluster, manifest, "output", BLOCK)
+    assert "payload" in str(exc_info.value)
+
+
+def test_detects_misplaced_striping():
+    """Right records, wrong layout: everything on node 0."""
+    cluster = Cluster(n_nodes=2, hardware=HardwareModel())
+    manifest = generate_input(cluster, SCHEMA, 32, "uniform", seed=1)
+    records = SCHEMA.from_keys(manifest.sorted_keys)
+    # dump the whole sorted output onto node 0 only
+    from repro.pdm.blockfile import RecordFile
+    RecordFile(cluster.node(0).disk, "output", SCHEMA).poke(0, records)
+    with pytest.raises(VerificationError):
+        verify_striped_output(cluster, manifest, "output", BLOCK)
+
+
+def test_verify_records_sorted_reports_position():
+    records = SCHEMA.from_keys(np.array([1, 5, 3], dtype=np.uint64))
+    with pytest.raises(VerificationError) as exc_info:
+        verify_records_sorted(records, what="runX")
+    message = str(exc_info.value)
+    assert "runX" in message and "key[1]" in message
+
+
+def test_verify_records_sorted_accepts_edges():
+    verify_records_sorted(SCHEMA.empty(0))
+    verify_records_sorted(SCHEMA.empty(1))
+    verify_records_sorted(SCHEMA.from_keys(
+        np.array([4, 4, 4], dtype=np.uint64)))

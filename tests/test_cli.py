@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--version"])
+    assert exc_info.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_distributions_lists_and_marks(capsys):
+    assert main(["distributions"]) == 0
+    out = capsys.readouterr().out
+    assert "uniform  [paper]" in out
+    assert "sorted  [adversarial]" in out
+    assert "zipf" in out
+
+
+def test_sort_small_run(capsys):
+    code = main(["sort", "--sorter", "dsort", "--nodes", "2",
+                 "--records-per-node", "512", "--distribution", "poisson"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "output verified: True" in out
+    assert "pass1" in out and "pass2" in out
+    assert "partition max/avg" in out
+
+
+def test_sort_csort_small_run(capsys):
+    code = main(["sort", "--sorter", "csort", "--nodes", "2",
+                 "--records-per-node", "2048"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pass3" in out
+    # csort's three passes each read AND write the data once = 6x volume
+    assert "6.00x data volume" in out
+
+
+def test_sort_rejects_unknown_sorter():
+    with pytest.raises(SystemExit):
+        main(["sort", "--sorter", "quicksort"])
+
+
+def test_sweep_small(capsys):
+    code = main(["sweep", "--nodes", "2", "--blocks", "128,256"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "128" in out and "256" in out
+
+
+def test_overlap_command(capsys):
+    assert main(["overlap"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_trace_command(capsys):
+    code = main(["trace", "--nodes", "2", "--records-per-node", "2048",
+                 "--width", "60"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stage threads" in out
+    assert "dsort-p1@0.read" in out
+    assert "#" in out
+
+
+def test_apps_command(capsys):
+    code = main(["apps", "--nodes", "2", "--matrix-side", "8",
+                 "--kv-per-node", "500", "--key-space", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "transpose:" in out
+    assert "group-by:" in out
+    assert "20 groups" in out
+
+
+def test_apps_rejects_indivisible_matrix():
+    with pytest.raises(SystemExit):
+        main(["apps", "--nodes", "3", "--matrix-side", "8"])
+
+
+def test_parser_structure():
+    parser = build_parser()
+    # subcommands exist
+    args = parser.parse_args(["sort"])
+    assert args.command == "sort"
+    assert args.sorter == "dsort"
+    args = parser.parse_args(["figure8", "--record-bytes", "64"])
+    assert args.record_bytes == 64

@@ -1,0 +1,54 @@
+"""The exception hierarchy contract: everything under ReproError."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ChannelClosed,
+    ColumnsortShapeError,
+    CommError,
+    DeadlockError,
+    DiskError,
+    KernelError,
+    ProcessFailed,
+    ReproError,
+    SortError,
+    StorageError,
+    VerificationError,
+)
+
+
+def all_error_classes():
+    return [obj for _, obj in inspect.getmembers(errors_module,
+                                                 inspect.isclass)
+            if issubclass(obj, Exception)]
+
+
+def test_every_library_error_derives_from_repro_error():
+    for cls in all_error_classes():
+        assert issubclass(cls, ReproError), cls
+
+
+def test_catching_the_base_catches_everything():
+    for cls in (DeadlockError, CommError, DiskError, StorageError,
+                SortError, ColumnsortShapeError, VerificationError,
+                ChannelClosed):
+        with pytest.raises(ReproError):
+            raise cls("x")
+
+
+def test_process_failed_wraps_original():
+    original = ValueError("inner")
+    wrapped = ProcessFailed("stage-x", original)
+    assert wrapped.original is original
+    assert wrapped.process_name == "stage-x"
+    assert "stage-x" in str(wrapped)
+    assert isinstance(wrapped, KernelError)
+
+
+def test_subfamily_relationships():
+    assert issubclass(DeadlockError, KernelError)
+    assert issubclass(CommError, ReproError)
+    assert issubclass(ColumnsortShapeError, SortError)

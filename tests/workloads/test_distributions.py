@@ -1,0 +1,109 @@
+"""Unit + property tests for key distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SortError
+from repro.workloads.distributions import (
+    ADVERSARIAL_DISTRIBUTIONS,
+    DISTRIBUTIONS,
+    PAPER_DISTRIBUTIONS,
+    generate_keys,
+    _floats_to_ordered_u64,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_paper_distributions_are_registered():
+    assert PAPER_DISTRIBUTIONS == ("uniform", "all_equal", "std_normal",
+                                   "poisson")
+    for name in PAPER_DISTRIBUTIONS + ADVERSARIAL_DISTRIBUTIONS:
+        assert name in DISTRIBUTIONS
+
+
+@pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+def test_every_distribution_yields_u64_of_right_length(name):
+    keys = generate_keys(name, 1000, rng())
+    assert keys.dtype == np.uint64
+    assert len(keys) == 1000
+
+
+def test_all_equal_really_is():
+    keys = generate_keys("all_equal", 500, rng())
+    assert len(np.unique(keys)) == 1
+
+
+def test_uniform_spreads_over_key_space():
+    keys = generate_keys("uniform", 10000, rng())
+    # buckets by top 2 bits: all four quartiles populated
+    counts = np.bincount((keys >> np.uint64(62)).astype(int), minlength=4)
+    assert (counts > 1000).all()
+
+
+def test_poisson_has_small_support_and_ties():
+    keys = generate_keys("poisson", 10000, rng())
+    assert keys.max() < 20
+    assert len(np.unique(keys)) < 20
+
+
+def test_std_normal_order_preserved():
+    """Sorting the u64 keys equals sorting the source normals."""
+    g = np.random.default_rng(7)
+    x = g.standard_normal(5000)
+    u = _floats_to_ordered_u64(x)
+    np.testing.assert_array_equal(np.argsort(u, kind="stable"),
+                                  np.argsort(x, kind="stable"))
+
+
+def test_reverse_and_sorted():
+    assert (np.diff(generate_keys("reverse_sorted", 100, rng())
+                    .astype(np.int64)) < 0).all()
+    assert (np.diff(generate_keys("sorted", 100, rng())
+                    .astype(np.int64)) > 0).all()
+
+
+def test_single_hot_value_is_skewed():
+    keys = generate_keys("single_hot_value", 10000, rng())
+    values, counts = np.unique(keys, return_counts=True)
+    assert counts.max() > 8500
+
+
+def test_narrow_range_is_narrow():
+    keys = generate_keys("narrow_range", 1000, rng())
+    assert int(keys.max()) - int(keys.min()) < (1 << 20)
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(SortError):
+        generate_keys("nope", 10, rng())
+
+
+def test_negative_count_rejected():
+    with pytest.raises(SortError):
+        generate_keys("uniform", -1, rng())
+
+
+def test_determinism_same_seed_same_keys():
+    a = generate_keys("std_normal", 1000, np.random.default_rng(3))
+    b = generate_keys("std_normal", 1000, np.random.default_rng(3))
+    np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=64), min_size=2, max_size=100))
+def test_property_float_map_is_order_preserving(values):
+    x = np.array(values, dtype=np.float64)
+    u = _floats_to_ordered_u64(x)
+    for i in range(len(x) - 1):
+        if x[i] < x[i + 1]:
+            assert u[i] < u[i + 1]
+        elif x[i] > x[i + 1]:
+            assert u[i] > u[i + 1]
+        else:
+            assert u[i] == u[i + 1]

@@ -1,0 +1,72 @@
+"""Unit tests for dataset generation on the cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, HardwareModel
+from repro.errors import SortError
+from repro.pdm.blockfile import RecordFile
+from repro.pdm.records import RecordSchema
+from repro.workloads.generator import INPUT_FILE, generate_input
+
+
+def make_cluster(n=4):
+    return Cluster(n_nodes=n, hardware=HardwareModel())
+
+
+def test_every_node_gets_its_share():
+    cluster = make_cluster(4)
+    schema = RecordSchema.paper_16()
+    manifest = generate_input(cluster, schema, n_per_node=100,
+                              distribution="uniform", seed=1)
+    for node in cluster.nodes:
+        rf = RecordFile(node.disk, INPUT_FILE, schema)
+        assert rf.n_records == 100
+    assert manifest.total_records == 400
+    assert manifest.total_bytes == 6400
+
+
+def test_manifest_sorted_keys_match_data():
+    cluster = make_cluster(3)
+    schema = RecordSchema.paper_16()
+    manifest = generate_input(cluster, schema, n_per_node=50,
+                              distribution="std_normal", seed=5)
+    all_keys = np.concatenate([
+        RecordFile(node.disk, INPUT_FILE, schema).read_all()["key"]
+        for node in cluster.nodes])
+    np.testing.assert_array_equal(np.sort(all_keys), manifest.sorted_keys)
+
+
+def test_generation_is_untimed_and_free():
+    cluster = make_cluster(2)
+    generate_input(cluster, RecordSchema(8), n_per_node=10,
+                   distribution="uniform")
+    assert cluster.kernel.now() == 0.0
+    assert cluster.total_bytes_io() == 0
+
+
+def test_regeneration_replaces_old_input():
+    cluster = make_cluster(2)
+    schema = RecordSchema(8)
+    generate_input(cluster, schema, n_per_node=100, distribution="uniform")
+    generate_input(cluster, schema, n_per_node=10, distribution="uniform")
+    rf = RecordFile(cluster.node(0).disk, INPUT_FILE, schema)
+    assert rf.n_records == 10
+
+
+def test_same_seed_reproducible_across_clusters():
+    schema = RecordSchema(8)
+    keys = []
+    for _ in range(2):
+        cluster = make_cluster(2)
+        generate_input(cluster, schema, n_per_node=20,
+                       distribution="uniform", seed=9)
+        keys.append(RecordFile(cluster.node(1).disk, INPUT_FILE,
+                               schema).read_all()["key"])
+    np.testing.assert_array_equal(keys[0], keys[1])
+
+
+def test_zero_records_rejected():
+    with pytest.raises(SortError):
+        generate_input(make_cluster(1), RecordSchema(8), n_per_node=0,
+                       distribution="uniform")
