@@ -4,13 +4,18 @@ Not a paper figure — the raw material behind all of them.  Runs dsort on
 two nodes with the execution tracer attached and saves a Gantt chart of
 node 0's FG threads, making the overlap that produces the Figure-8
 numbers directly visible ('#' = timed work, '+' = queued on a busy
-resource, '.' = waiting for data).
+resource, '.' = waiting for data).  The same run also emits the
+machine-readable artifacts — ``stage_trace.trace.json`` (Chrome-trace,
+node-0 stage threads), ``stage_trace.metrics.json`` (kernel-time metrics
+snapshot), and ``stage_trace.bottleneck.txt`` (limiting-stage report) —
+that EXPERIMENTS.md's observability section points at.
 """
 
-from conftest import save_result
+from conftest import save_observability, save_result
 
 from repro.bench.harness import benchmark_hardware
 from repro.cluster import Cluster
+from repro.obs import analyze_bottleneck
 from repro.pdm.records import RecordSchema
 from repro.sim import Tracer, VirtualTimeKernel
 from repro.sorting.dsort import DsortConfig, run_dsort
@@ -22,6 +27,7 @@ def test_dsort_stage_trace(once):
     def experiment():
         tracer = Tracer()
         kernel = VirtualTimeKernel(tracer=tracer)
+        kernel.enable_metrics()
         cluster = Cluster(n_nodes=2, hardware=benchmark_hardware(),
                           kernel=kernel)
         schema = RecordSchema.paper_16()
@@ -33,9 +39,10 @@ def test_dsort_stage_trace(once):
         cluster.run(run_dsort, schema, config)
         verify_striped_output(cluster, manifest, config.output_file,
                               config.out_block_records)
-        return tracer, kernel.now()
+        return tracer, kernel
 
-    tracer, elapsed = once(experiment)
+    tracer, kernel = once(experiment)
+    elapsed = kernel.now()
     node0_stages = [n for n in tracer.process_names()
                     if "@0" in n and ".source" not in n
                     and ".sink" not in n and "family" not in n
@@ -44,6 +51,11 @@ def test_dsort_stage_trace(once):
     save_result("stage_trace",
                 f"dsort on 2 nodes — node 0 stage threads "
                 f"({elapsed * 1e3:.2f} ms simulated)\n" + chart)
+    save_observability("stage_trace", tracer, metrics=kernel.metrics,
+                       processes=node0_stages)
+    report = analyze_bottleneck(tracer, processes=node0_stages)
+    save_result("stage_trace.bottleneck", report.render())
+    assert report.bottleneck.process in node0_stages
     lines = chart.splitlines()
     assert len(lines) == len(node0_stages) + 1
     # pass-1 and pass-2 stages both present

@@ -26,6 +26,27 @@ def save_result(name: str, text: str) -> None:
     print(f"\n{text}\n[saved to {path}]")
 
 
+def save_observability(name: str, tracer, metrics=None,
+                       processes=None) -> None:
+    """Persist a benchmark run's trace/metrics artifacts.
+
+    Writes ``results/<name>.trace.json`` (Chrome-trace format — open in
+    chrome://tracing or https://ui.perfetto.dev) and, when a registry is
+    given, ``results/<name>.metrics.json`` (the registry snapshot).
+    """
+    from repro.obs import write_chrome_trace, write_metrics_json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trace_path = os.path.join(RESULTS_DIR, f"{name}.trace.json")
+    doc = write_chrome_trace(trace_path, tracer, metrics=metrics,
+                             processes=processes)
+    print(f"[saved {len(doc['traceEvents'])} trace events to {trace_path}]")
+    if metrics is not None:
+        metrics_path = os.path.join(RESULTS_DIR, f"{name}.metrics.json")
+        write_metrics_json(metrics_path, metrics)
+        print(f"[saved metrics snapshot to {metrics_path}]")
+
+
 @pytest.fixture
 def once(benchmark):
     """Run the experiment exactly once under pytest-benchmark."""

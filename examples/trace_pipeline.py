@@ -6,6 +6,10 @@ pipeline, and prints a Gantt chart of every FG thread — you can *see* the
 read, compute, and write stages interleaving, the source/sink recycling,
 and where each stage waits.
 
+The same trace then feeds the ``repro.obs`` exporters: a Chrome-trace
+JSON you can open in https://ui.perfetto.dev, a kernel-time metrics
+snapshot, and a bottleneck report naming the limiting stage.
+
 Run:  python examples/trace_pipeline.py
 """
 
@@ -13,6 +17,11 @@ import numpy as np
 
 from repro.cluster import Cluster, HardwareModel
 from repro.core import FGProgram, Stage
+from repro.obs import (
+    analyze_bottleneck,
+    write_chrome_trace,
+    write_metrics_json,
+)
 from repro.pdm.blockfile import RecordFile
 from repro.pdm.records import RecordSchema
 from repro.sim import Tracer, VirtualTimeKernel
@@ -25,6 +34,7 @@ BLOCK_RECORDS = 4096
 def main() -> None:
     tracer = Tracer()
     kernel = VirtualTimeKernel(tracer=tracer)
+    kernel.enable_metrics()
     cluster = Cluster(n_nodes=1,
                       hardware=HardwareModel.scaled_paper_cluster(),
                       kernel=kernel)
@@ -69,6 +79,17 @@ def main() -> None:
     print(tracer.gantt(width=68, processes=stage_rows))
     print(f"\ntotal simulated time: {kernel.now() * 1e3:.2f} ms")
     print(f"trace events recorded: {len(tracer.events)}")
+
+    # the same trace, machine-readable: Chrome-trace JSON (open in
+    # https://ui.perfetto.dev) plus the kernel-time metrics snapshot
+    doc = write_chrome_trace("trace_pipeline.trace.json", tracer,
+                             metrics=kernel.metrics, processes=stage_rows)
+    write_metrics_json("trace_pipeline.metrics.json", kernel.metrics)
+    print(f"\nwrote trace_pipeline.trace.json "
+          f"({len(doc['traceEvents'])} Chrome-trace events) and "
+          "trace_pipeline.metrics.json")
+
+    print("\n" + analyze_bottleneck(tracer, processes=stage_rows).render())
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ from typing import Optional
 
 from repro.cluster import Cluster, HardwareModel
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.pdm.records import RecordSchema
+from repro.sim import Tracer, VirtualTimeKernel
 from repro.sorting.columnsort import (
     CsortConfig,
     plan_columnsort,
@@ -103,6 +105,11 @@ class SortRun:
     bytes_io: int
     bytes_wire: int
     max_disk_busy: float
+    #: observability capture (``run_sort(..., observe=True)``): the full
+    #: execution trace and the kernel metrics registry, ready for
+    #: :func:`repro.obs.write_chrome_trace` / ``write_metrics_json``
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def total_time(self) -> float:
@@ -118,11 +125,24 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
              n_per_node: int = BENCH_RECORDS_16B,
              hardware: Optional[HardwareModel] = None,
              block_records: Optional[int] = None,
-             seed: int = 0) -> SortRun:
-    """Run one sorting experiment end to end and verify its output."""
+             seed: int = 0, observe: bool = False) -> SortRun:
+    """Run one sorting experiment end to end and verify its output.
+
+    ``observe=True`` attaches the execution tracer and a metrics registry
+    to the run's kernel; the returned :class:`SortRun` then carries them
+    (``.tracer`` / ``.metrics``) so callers can export a Chrome trace,
+    dump a metrics snapshot, or run a bottleneck analysis — this is how
+    the benchmark suite emits its trace artifacts.
+    """
     hardware = hardware if hardware is not None else benchmark_hardware()
     n_total = n_nodes * n_per_node
-    cluster = Cluster(n_nodes=n_nodes, hardware=hardware)
+    kernel = None
+    tracer = None
+    if observe:
+        tracer = Tracer()
+        kernel = VirtualTimeKernel(tracer=tracer)
+        kernel.enable_metrics()
+    cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel)
     manifest = generate_input(cluster, schema, n_per_node, distribution,
                               seed=seed)
     imbalance: Optional[float] = None
@@ -181,4 +201,5 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
                    verified=True, partition_imbalance=imbalance,
                    bytes_io=cluster.total_bytes_io(),
                    bytes_wire=cluster.total_bytes_sent(),
-                   max_disk_busy=cluster.max_disk_busy())
+                   max_disk_busy=cluster.max_disk_busy(),
+                   tracer=tracer, metrics=cluster.kernel.metrics)

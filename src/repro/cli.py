@@ -7,6 +7,7 @@ Usage::
     python -m repro sweep --blocks 512,1024,2048
     python -m repro overlap
     python -m repro distributions
+    python -m repro analyze --trace-out trace.json
 
 Every command builds a fresh simulated cluster with the scaled paper
 hardware, runs deterministically, verifies the output, and prints the
@@ -75,6 +76,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--distribution", default="uniform")
     p_trace.add_argument("--width", type=int, default=100)
     p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--trace-out", metavar="PATH",
+                         help="also write a Chrome-trace JSON "
+                              "(open in chrome://tracing or Perfetto)")
+    p_trace.add_argument("--metrics-out", metavar="PATH",
+                         help="also write a metrics-registry snapshot JSON")
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run the quickstart pipeline (or dsort) with full "
+             "observability: bottleneck report + trace/metrics artifacts")
+    p_an.add_argument("--workload", default="quickstart",
+                      choices=["quickstart", "dsort"])
+    p_an.add_argument("--trace-out", metavar="PATH", default="trace.json",
+                      help="Chrome-trace JSON output path "
+                           "(default: trace.json)")
+    p_an.add_argument("--metrics-out", metavar="PATH",
+                      help="metrics-registry snapshot JSON output path")
+    p_an.add_argument("--rounds", type=int, default=24,
+                      help="quickstart: blocks through the pipeline")
+    p_an.add_argument("--nbuffers", type=int, default=4,
+                      help="quickstart: buffer-pool size")
+    p_an.add_argument("--nodes", type=int, default=2,
+                      help="dsort: cluster size")
+    p_an.add_argument("--records-per-node", type=int, default=16384,
+                      help="dsort: records per node")
+    p_an.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -169,6 +196,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     schema = RecordSchema.paper_16()
     tracer = Tracer()
     kernel = VirtualTimeKernel(tracer=tracer)
+    kernel.enable_metrics()
     cluster = Cluster(n_nodes=args.nodes, hardware=benchmark_hardware(),
                       kernel=kernel)
     manifest = generate_input(cluster, schema, args.records_per_node,
@@ -185,7 +213,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"dsort on {args.nodes} nodes, {args.distribution}: "
           f"{kernel.now() * 1e3:.2f} ms simulated; node-0 stage threads:\n")
     print(tracer.gantt(width=args.width, processes=stage_rows))
+    _write_artifacts(args, tracer, kernel, processes=stage_rows)
     return 0
+
+
+def _write_artifacts(args, tracer, kernel, processes=None) -> None:
+    """Write --trace-out / --metrics-out artifacts if requested."""
+    from repro.obs import write_chrome_trace, write_metrics_json
+
+    if getattr(args, "trace_out", None):
+        doc = write_chrome_trace(args.trace_out, tracer,
+                                 metrics=kernel.metrics,
+                                 processes=processes)
+        print(f"\nwrote Chrome trace: {args.trace_out} "
+              f"({len(doc['traceEvents'])} events; open in "
+              "chrome://tracing or https://ui.perfetto.dev)")
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(args.metrics_out, kernel.metrics)
+        print(f"wrote metrics snapshot: {args.metrics_out}")
 
 
 def _cmd_apps(args: argparse.Namespace) -> int:
@@ -234,6 +279,108 @@ def _cmd_apps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs import analyze_bottleneck
+    from repro.sim import Tracer, VirtualTimeKernel
+
+    tracer = Tracer()
+    kernel = VirtualTimeKernel(tracer=tracer)
+    kernel.enable_metrics()
+
+    if args.workload == "quickstart":
+        stage_rows = _run_quickstart_workload(kernel, args)
+        title = (f"quickstart read->compute->write pipeline "
+                 f"({args.rounds} blocks, {args.nbuffers} buffers)")
+    else:
+        stage_rows = _run_dsort_workload(kernel, args)
+        title = f"dsort on {args.nodes} nodes (node-0 stage threads)"
+
+    print(f"{title}: {kernel.now() * 1e3:.2f} ms simulated\n")
+    report = analyze_bottleneck(tracer, processes=stage_rows)
+    print(report.render())
+    _write_artifacts(args, tracer, kernel, processes=None)
+    return 0
+
+
+def _run_quickstart_workload(kernel, args) -> list:
+    """The README/quickstart pipeline under full observability."""
+    import numpy as np
+
+    from repro.bench.harness import benchmark_hardware
+    from repro.cluster import Cluster
+    from repro.core import FGProgram, Stage
+    from repro.pdm.blockfile import RecordFile
+    from repro.pdm.records import RecordSchema
+
+    schema = RecordSchema.paper_16()
+    block_records = 4096
+    cluster = Cluster(n_nodes=1, hardware=benchmark_hardware(),
+                      kernel=kernel)
+    node = cluster.node(0)
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 2**63, size=args.rounds * block_records,
+                        dtype=np.uint64)
+    rf_in = RecordFile(node.disk, "in", schema)
+    rf_out = RecordFile(node.disk, "out", schema)
+    rf_in.poke(0, schema.from_keys(keys))
+    # 1.5x a block-read so the compute stage is the unambiguous
+    # bottleneck — the report should *name* it, not leave a tie
+    compute_cost = 1.5 * node.hardware.disk_time(block_records
+                                                 * schema.record_bytes)
+
+    def node_main(node, comm):
+        prog = FGProgram(node.kernel, env={"node": node}, name="quickstart")
+
+        def read(ctx, buf):
+            buf.put(rf_in.read(buf.round * block_records, block_records))
+            return buf
+
+        def compute(ctx, buf):
+            node.compute(compute_cost)
+            buf.put(schema.sort(buf.view(schema.dtype)))
+            return buf
+
+        def write(ctx, buf):
+            rf_out.write(buf.round * block_records, buf.view(schema.dtype))
+            return buf
+
+        prog.add_pipeline(
+            "work", [Stage.map("read", read),
+                     Stage.map("compute", compute),
+                     Stage.map("write", write)],
+            nbuffers=args.nbuffers,
+            buffer_bytes=block_records * schema.record_bytes,
+            rounds=args.rounds)
+        prog.run()
+
+    cluster.run(node_main)
+    return [n for n in kernel.tracer.process_names()
+            if n.startswith("quickstart.")]
+
+
+def _run_dsort_workload(kernel, args) -> list:
+    from repro.bench.harness import benchmark_hardware, default_dsort_config
+    from repro.cluster import Cluster
+    from repro.pdm.records import RecordSchema
+    from repro.sorting.dsort import run_dsort
+    from repro.sorting.verify import verify_striped_output
+    from repro.workloads.generator import generate_input
+
+    schema = RecordSchema.paper_16()
+    cluster = Cluster(n_nodes=args.nodes, hardware=benchmark_hardware(),
+                      kernel=kernel)
+    manifest = generate_input(cluster, schema, args.records_per_node,
+                              "uniform", seed=args.seed)
+    config = default_dsort_config(args.nodes * args.records_per_node,
+                                  args.nodes)
+    cluster.run(run_dsort, schema, config)
+    verify_striped_output(cluster, manifest, config.output_file,
+                          config.out_block_records)
+    return [n for n in kernel.tracer.process_names()
+            if "@0" in n and ".source" not in n and ".sink" not in n
+            and "family" not in n and not n.startswith("main")]
+
+
 _COMMANDS = {
     "sort": _cmd_sort,
     "figure8": _cmd_figure8,
@@ -241,6 +388,7 @@ _COMMANDS = {
     "overlap": _cmd_overlap,
     "distributions": _cmd_distributions,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
     "apps": _cmd_apps,
 }
 

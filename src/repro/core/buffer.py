@@ -78,6 +78,18 @@ class Buffer:
         """Backing capacity in bytes (0 for cabooses)."""
         return 0 if self.data is None else len(self.data)
 
+    @property
+    def fill_fraction(self) -> float:
+        """Valid bytes over capacity (0.0 for cabooses).
+
+        Observability hook: since a buffer corresponds to one block of
+        data transfer, persistently under-filled buffers mean wasted I/O
+        and wire capacity; the program observer records the distribution
+        of fill fractions at each convey.
+        """
+        capacity = self.capacity
+        return self.size / capacity if capacity else 0.0
+
     def view(self, dtype: np.dtype) -> np.ndarray:
         """View the *valid* bytes (``size``) as an array of ``dtype``.
 

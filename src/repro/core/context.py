@@ -2,9 +2,10 @@
 
 A :class:`StageContext` is handed to every stage function.  It knows which
 pipelines the stage belongs to, resolves the queues materialized by the
-program, records per-stage statistics, and exposes the program environment
-(``node``, ``comm``, ...) that stage functions use for disk I/O,
-communication, and compute charging.
+program, reports per-stage activity through the program's
+:class:`~repro.obs.observer.ProgramObserver`, and exposes the program
+environment (``node``, ``comm``, ...) that stage functions use for disk
+I/O, communication, and compute charging.
 """
 
 from __future__ import annotations
@@ -80,9 +81,8 @@ class StageContext:
         queue = self.program.in_queue(p, self.stage)
         t0 = self.kernel.now()
         buf = queue.get()
-        stats = self.stage.stats
-        stats.accept_wait += self.kernel.now() - t0
-        stats.accepts += 1
+        self.program.observer.accepted(self.stage,
+                                       self.kernel.now() - t0)
         return buf
 
     def convey(self, buffer: Buffer) -> None:
@@ -94,7 +94,7 @@ class StageContext:
                 f"stage {self.stage.name!r} cannot convey a buffer tied to "
                 f"pipeline {p.name!r}, which it does not belong to")
         self.program.out_queue(p, self.stage).put(buffer)
-        self.stage.stats.conveys += 1
+        self.program.observer.conveyed(self.stage, buffer)
 
     def convey_caboose(self, pipeline: Optional[Pipeline] = None) -> None:
         """Declare end-of-stream on a pipeline whose length was unknown.
@@ -107,7 +107,7 @@ class StageContext:
         p = self._resolve(pipeline)
         self.program.mark_stage_eos(p, self.stage)
         self.program.out_queue(p, self.stage).put(Buffer.caboose(p))
-        self.stage.stats.conveys += 1
+        self.program.observer.conveyed(self.stage)
 
     def forward(self, caboose: Buffer) -> None:
         """Pass a received caboose to the successor (map loops use this)."""

@@ -39,6 +39,7 @@ from repro.core.pipeline import Pipeline
 from repro.core.stage import Stage, StageStats
 from repro.core.virtual import Family, Stop, VirtualGroup
 from repro.errors import PipelineStructureError
+from repro.obs.observer import ProgramObserver
 from repro.sim.channel import Channel
 from repro.sim.kernel import Kernel, Process
 
@@ -54,6 +55,8 @@ class FGProgram:
         self.env: dict[str, Any] = dict(env) if env else {}
         self.name = name
         self.pipelines: list[Pipeline] = []
+        #: the single event path for stage stats and metrics (repro.obs)
+        self.observer = ProgramObserver(self)
         self._started = False
         self._procs: list[Process] = []
         # materialized at assembly:
@@ -248,6 +251,7 @@ class FGProgram:
                 return
             item.clear()
             item.round = emitted
+            self.observer.emitted(p)
             first.put(item)
             emitted += 1
         first.put(Buffer.caboose(p))
@@ -260,6 +264,7 @@ class FGProgram:
             if buf.is_caboose:
                 recycle.put(Stop(p))
                 return
+            self.observer.recycled(p)
             recycle.put(buf)
 
     def _run_source_group(self, family: Family) -> None:
@@ -281,6 +286,7 @@ class FGProgram:
                 continue  # stale buffer of an already-finished pipeline
             item.clear()
             item.round = emitted[pid]
+            self.observer.emitted(p)
             first = self._in_q[(pid, id(p.stages[0]))]
             first.put(item)
             emitted[pid] += 1
@@ -296,10 +302,11 @@ class FGProgram:
                 family.recycle.put(Stop(buf.pipeline))
                 remaining.discard(id(buf.pipeline))
             else:
+                self.observer.recycled(buf.pipeline)
                 family.recycle.put(buf)
 
     def _run_map_stage(self, stage: Stage, ctx: StageContext) -> None:
-        stage.stats.started_at = self.kernel.now()
+        self.observer.stage_started(stage)
         try:
             while True:
                 buf = ctx.accept()
@@ -310,22 +317,24 @@ class FGProgram:
                 if out is not None:
                     ctx.convey(out)
         finally:
-            stage.stats.finished_at = self.kernel.now()
+            self.observer.stage_finished(stage)
 
     def _run_full_stage(self, stage: Stage, ctx: StageContext) -> None:
-        stage.stats.started_at = self.kernel.now()
+        self.observer.stage_started(stage)
         try:
             stage.fn(ctx)
         finally:
-            stage.stats.finished_at = self.kernel.now()
+            self.observer.stage_finished(stage)
 
     def _run_virtual_group(self, group: VirtualGroup) -> None:
         live = {id(p) for p in group.pipelines}
         for _, s in group.members:
-            s.stats.started_at = self.kernel.now()
+            self.observer.stage_started(s)
         try:
             while live:
+                t0 = self.kernel.now()
                 buf = group.shared_queue.get()
+                wait = self.kernel.now() - t0
                 pid = id(buf.pipeline)
                 if pid not in live:
                     continue  # buffer raced past this pipeline's shutdown
@@ -337,16 +346,17 @@ class FGProgram:
                     continue
                 if (pid, id(stage)) in self._stage_eos:
                     continue  # member declared EOS itself; drop stragglers
-                stage.stats.accepts += 1
+                # shared-queue wait is attributed to the member whose
+                # buffer ended it — the best available approximation
+                self.observer.accepted(stage, wait)
                 out = stage.fn(ctx, buf)
                 if out is not None:
                     ctx.convey(out)
                 if (pid, id(stage)) in self._stage_eos:
                     live.discard(pid)
         finally:
-            now = self.kernel.now()
             for _, s in group.members:
-                s.stats.finished_at = now
+                self.observer.stage_finished(s)
 
     # -- execution ------------------------------------------------------------------------
 

@@ -36,7 +36,13 @@ __all__ = ["Stage", "StageStats"]
 
 @dataclasses.dataclass
 class StageStats:
-    """Per-stage timing and throughput counters (kernel seconds)."""
+    """Per-stage timing and throughput counters (kernel seconds).
+
+    Updated exclusively through the program's
+    :class:`~repro.obs.observer.ProgramObserver` — the single event path
+    that also mirrors every stage event into the kernel's metrics registry
+    when one is enabled (``kernel.enable_metrics()``).
+    """
 
     accepts: int = 0
     conveys: int = 0

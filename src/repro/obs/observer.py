@@ -1,0 +1,109 @@
+"""ProgramObserver: the single event path for FG stage bookkeeping.
+
+Before ``repro.obs`` existed, per-stage statistics were mutated from three
+places (the stage context, the map-stage runner, and the virtual-group
+dispatcher).  Every stage lifecycle event now flows through one
+:class:`ProgramObserver` owned by the :class:`~repro.core.program.FGProgram`:
+the observer keeps the legacy :class:`~repro.core.stage.StageStats` view up
+to date *and* mirrors each event into the kernel's metrics registry when
+one is enabled (see :meth:`~repro.sim.kernel.Kernel.enable_metrics`).
+
+Metric names, all prefixed with the program name::
+
+    fg.<prog>.stage.<stage>.accepts             counter
+    fg.<prog>.stage.<stage>.conveys             counter
+    fg.<prog>.stage.<stage>.accept_wait_seconds counter (unit: s)
+    fg.<prog>.stage.<stage>.fill                histogram of conveyed
+                                                buffer fill fractions
+    fg.<prog>.pipeline.<pipe>.buffers_in_flight gauge (sampled, for the
+                                                Chrome-trace counter track)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.buffer import Buffer
+    from repro.core.pipeline import Pipeline
+    from repro.core.program import FGProgram
+    from repro.core.stage import Stage
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ProgramObserver"]
+
+#: bucket bounds for buffer fill fractions (how full conveyed buffers are)
+FILL_BOUNDS = (0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+class ProgramObserver:
+    """Routes stage/pipeline lifecycle events to stats and metrics."""
+
+    def __init__(self, program: "FGProgram"):
+        self.program = program
+        self.kernel = program.kernel
+
+    @property
+    def registry(self) -> Optional["MetricsRegistry"]:
+        """The kernel's registry, or None when metrics are disabled."""
+        return self.kernel.metrics
+
+    def _prefix(self, stage: "Stage") -> str:
+        return f"fg.{self.program.name}.stage.{stage.name}"
+
+    # -- stage lifecycle ----------------------------------------------------
+
+    def stage_started(self, stage: "Stage") -> None:
+        stage.stats.started_at = self.kernel.now()
+
+    def stage_finished(self, stage: "Stage") -> None:
+        stage.stats.finished_at = self.kernel.now()
+
+    def accepted(self, stage: "Stage", wait_seconds: float) -> None:
+        """One buffer (or caboose) accepted after ``wait_seconds`` blocked."""
+        stats = stage.stats
+        stats.accepts += 1
+        stats.accept_wait += wait_seconds
+        registry = self.registry
+        if registry is not None:
+            prefix = self._prefix(stage)
+            registry.counter(f"{prefix}.accepts").inc()
+            registry.counter(f"{prefix}.accept_wait_seconds",
+                             unit="s").inc(wait_seconds)
+
+    def conveyed(self, stage: "Stage",
+                 buffer: Optional["Buffer"] = None) -> None:
+        """One buffer conveyed downstream (None for synthesized cabooses)."""
+        stage.stats.conveys += 1
+        registry = self.registry
+        if registry is not None:
+            prefix = self._prefix(stage)
+            registry.counter(f"{prefix}.conveys").inc()
+            if (buffer is not None and not buffer.is_caboose
+                    and buffer.capacity):
+                registry.histogram(f"{prefix}.fill",
+                                   bounds=FILL_BOUNDS).observe(
+                    buffer.fill_fraction)
+
+    # -- buffer-pool circulation -------------------------------------------
+
+    def _in_flight(self, pipeline: "Pipeline"):
+        registry = self.registry
+        if registry is None:
+            return None
+        return registry.gauge(
+            f"fg.{self.program.name}.pipeline.{pipeline.name}"
+            ".buffers_in_flight",
+            record_samples=True)
+
+    def emitted(self, pipeline: "Pipeline") -> None:
+        """The source put one recycled buffer into circulation."""
+        gauge = self._in_flight(pipeline)
+        if gauge is not None:
+            gauge.add(1)
+
+    def recycled(self, pipeline: "Pipeline") -> None:
+        """The sink returned one data buffer to the pool."""
+        gauge = self._in_flight(pipeline)
+        if gauge is not None:
+            gauge.add(-1)

@@ -45,6 +45,31 @@ class Channel(Generic[T]):
         self._closed = False
         #: total items ever delivered through this channel (stats)
         self.delivered = 0
+        # self-instrumentation: when the kernel carries a metrics registry
+        # (kernel.enable_metrics()), record queue occupancy — with a
+        # time-weighted level histogram and a sample series for the
+        # Chrome-trace counter track — and items delivered.
+        registry = kernel.metrics
+        if registry is not None:
+            self._m_occupancy = registry.gauge(
+                f"channel.{name}.occupancy", record_samples=True,
+                level_bounds=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+            self._m_delivered = registry.counter(
+                f"channel.{name}.delivered")
+        else:
+            self._m_occupancy = None
+            self._m_delivered = None
+
+    # -- instrumentation helpers (call with the kernel mutex held) ---------
+
+    def _note_delivered_locked(self) -> None:
+        self.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
+
+    def _note_occupancy_locked(self) -> None:
+        if self._m_occupancy is not None:
+            self._m_occupancy.set(len(self._buf))
 
     # -- queries (racy by nature; fine under the cooperative kernel) -------
 
@@ -66,12 +91,13 @@ class Channel(Generic[T]):
             raise ChannelClosed(f"put on closed channel {self.name!r}")
         if self._getq:
             getter = self._getq.popleft()
-            self.delivered += 1
+            self._note_delivered_locked()
             kernel.make_ready(getter, (_ITEM, item))
             kernel.mutex.release()
             return
         if self.capacity is None or len(self._buf) < self.capacity:
             self._buf.append(item)
+            self._note_occupancy_locked()
             kernel.mutex.release()
             return
         me = kernel.current_process()
@@ -87,16 +113,17 @@ class Channel(Generic[T]):
         kernel.mutex.acquire()
         if self._buf:
             item = self._buf.popleft()
-            self.delivered += 1
+            self._note_delivered_locked()
             if self._putq:
                 putter, pending = self._putq.popleft()
                 self._buf.append(pending)
                 kernel.make_ready(putter, _ITEM)
+            self._note_occupancy_locked()
             kernel.mutex.release()
             return item
         if self._putq:  # capacity == 0 rendezvous
             putter, pending = self._putq.popleft()
-            self.delivered += 1
+            self._note_delivered_locked()
             kernel.make_ready(putter, _ITEM)
             kernel.mutex.release()
             return pending
@@ -119,16 +146,17 @@ class Channel(Generic[T]):
         kernel.mutex.acquire()
         if self._buf:
             item = self._buf.popleft()
-            self.delivered += 1
+            self._note_delivered_locked()
             if self._putq:
                 putter, pending = self._putq.popleft()
                 self._buf.append(pending)
                 kernel.make_ready(putter, _ITEM)
+            self._note_occupancy_locked()
             kernel.mutex.release()
             return True, item
         if self._putq:
             putter, pending = self._putq.popleft()
-            self.delivered += 1
+            self._note_delivered_locked()
             kernel.make_ready(putter, _ITEM)
             kernel.mutex.release()
             return True, pending
@@ -144,12 +172,13 @@ class Channel(Generic[T]):
             raise ChannelClosed(f"put on closed channel {self.name!r}")
         if self._getq:
             getter = self._getq.popleft()
-            self.delivered += 1
+            self._note_delivered_locked()
             kernel.make_ready(getter, (_ITEM, item))
             kernel.mutex.release()
             return True
         if self.capacity is None or len(self._buf) < self.capacity:
             self._buf.append(item)
+            self._note_occupancy_locked()
             kernel.mutex.release()
             return True
         kernel.mutex.release()

@@ -27,13 +27,16 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
-from typing import Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import (
     KernelShutdown,
     KernelStateError,
     ProcessFailed,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Kernel", "Process", "ProcessState"]
 
@@ -126,12 +129,29 @@ class Kernel:
         self._aborting = False
         self._failure: Optional[ProcessFailed] = None
         self._tls = threading.local()
+        #: optional metrics registry recording in this kernel's time;
+        #: see :meth:`enable_metrics`.  Channels and FG programs
+        #: instrument themselves when it is non-None.
+        self.metrics: Optional["MetricsRegistry"] = None
 
     # -- clock -------------------------------------------------------------
 
     def now(self) -> float:
         """Current time in seconds (simulated or wall-clock)."""
         raise NotImplementedError
+
+    # -- observability -------------------------------------------------------
+
+    def enable_metrics(self) -> "MetricsRegistry":
+        """Attach (or return) a metrics registry bound to this kernel's
+        clock.  Must be called before the synchronization objects and FG
+        programs that should record into it are constructed — they look up
+        :attr:`metrics` at creation time.
+        """
+        if self.metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+            self.metrics = MetricsRegistry(self.now)
+        return self.metrics
 
     # -- process management -------------------------------------------------
 
@@ -151,6 +171,8 @@ class Kernel:
             self._live += 1
             if self._started:
                 self._start_process_locked(proc)
+        if self.metrics is not None:
+            self.metrics.counter("kernel.processes_spawned").inc()
         return proc
 
     def current_process(self) -> Process:

@@ -210,6 +210,11 @@ class VirtualTimeKernel(Kernel):
             if self._live == 0:
                 self.mutex.release()
                 self._finished = True
+                if self.metrics is not None:
+                    self.metrics.counter("kernel.context_switches").inc(
+                        self.switches)
+                    self.metrics.gauge("kernel.simulated_seconds",
+                                       unit="s").set(self._now)
                 return
             self._main_event.clear()
             nxt = self._pick_locked()

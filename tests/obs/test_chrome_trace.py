@@ -1,0 +1,115 @@
+"""Tests for the Chrome-trace exporter.
+
+The golden-file test locks down the exact JSON produced by a small
+deterministic scenario: under the virtual-time kernel the export must be
+byte-stable, run after run, machine after machine.  Regenerate the golden
+file (after an intentional format change) with::
+
+    PYTHONPATH=src python tests/obs/test_chrome_trace.py
+"""
+
+import io
+import json
+import os
+
+from repro.obs import chrome_trace, write_chrome_trace, write_metrics_json
+from repro.sim import Channel, Tracer, VirtualTimeKernel
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_trace.json")
+
+
+def tiny_scenario():
+    """Two processes handing three items over a capacity-1 channel."""
+    tracer = Tracer()
+    kernel = VirtualTimeKernel(tracer=tracer)
+    registry = kernel.enable_metrics()
+    # created after enable_metrics, so the channel self-instruments its
+    # occupancy gauge and delivered counter
+    ch = Channel(kernel, capacity=1, name="ch")
+
+    def producer():
+        for i in range(3):
+            kernel.sleep(1.0)
+            ch.put(i)
+
+    def consumer():
+        for _ in range(3):
+            ch.get()
+            kernel.sleep(2.0)
+
+    kernel.spawn(producer, name="producer")
+    kernel.spawn(consumer, name="consumer")
+    kernel.run()
+    return tracer, registry
+
+
+def test_chrome_trace_matches_golden_file():
+    tracer, registry = tiny_scenario()
+    out = io.StringIO()
+    write_chrome_trace(out, tracer, metrics=registry)
+    with open(GOLDEN_PATH) as fh:
+        assert out.getvalue() == fh.read()
+
+
+def test_document_structure():
+    tracer, registry = tiny_scenario()
+    doc = chrome_trace(tracer, metrics=registry)
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["process_count"] == 2
+    kinds = {ev["ph"] for ev in doc["traceEvents"]}
+    assert kinds == {"M", "X", "C"}
+    # one thread_name + one thread_sort_index metadata row per process
+    meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+    assert len(meta) == 4
+    names = {ev["args"]["name"] for ev in meta
+             if ev["name"] == "thread_name"}
+    assert names == {"producer", "consumer"}
+    # every slice has microsecond ts/dur and a normalized name
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0 and ev["ts"] >= 0
+            assert "sleep" not in ev["name"]   # collapsed to "work"
+    # the channel's occupancy gauge samples became counter events
+    counters = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+    assert counters and all(ev["name"] == "channel.ch.occupancy"
+                            for ev in counters)
+
+
+def test_processes_filter_limits_thread_rows():
+    tracer, registry = tiny_scenario()
+    doc = chrome_trace(tracer, processes=["consumer"])
+    assert doc["otherData"]["process_count"] == 1
+    tids = {ev["tid"] for ev in doc["traceEvents"]}
+    assert tids == {0}
+
+
+def test_export_is_deterministic_across_runs():
+    def render():
+        tracer, registry = tiny_scenario()
+        out = io.StringIO()
+        write_chrome_trace(out, tracer, metrics=registry)
+        return out.getvalue()
+
+    assert render() == render()
+
+
+def test_output_is_valid_loadable_json(tmp_path):
+    tracer, registry = tiny_scenario()
+    trace_path = tmp_path / "t.json"
+    metrics_path = tmp_path / "m.json"
+    write_chrome_trace(str(trace_path), tracer, metrics=registry)
+    write_metrics_json(str(metrics_path), registry)
+    doc = json.loads(trace_path.read_text())
+    assert isinstance(doc["traceEvents"], list)
+    snap = json.loads(metrics_path.read_text())
+    assert set(snap) >= {"captured_at", "counters", "gauges", "histograms"}
+
+
+def _regenerate_golden():
+    tracer, registry = tiny_scenario()
+    write_chrome_trace(GOLDEN_PATH, tracer, metrics=registry)
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate_golden()

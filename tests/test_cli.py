@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -71,6 +73,50 @@ def test_trace_command(capsys):
     assert "stage threads" in out
     assert "dsort-p1@0.read" in out
     assert "#" in out
+
+
+def test_trace_command_writes_artifacts(tmp_path, capsys):
+    trace_out = tmp_path / "t.json"
+    metrics_out = tmp_path / "m.json"
+    code = main(["trace", "--nodes", "2", "--records-per-node", "2048",
+                 "--width", "60", "--trace-out", str(trace_out),
+                 "--metrics-out", str(metrics_out)])
+    assert code == 0
+    doc = json.loads(trace_out.read_text())
+    assert doc["traceEvents"]
+    snap = json.loads(metrics_out.read_text())
+    assert snap["counters"]
+    out = capsys.readouterr().out
+    assert str(trace_out) in out
+
+
+def test_analyze_quickstart(tmp_path, capsys):
+    trace_out = tmp_path / "trace.json"
+    code = main(["analyze", "--rounds", "12",
+                 "--trace-out", str(trace_out)])
+    assert code == 0
+    out = capsys.readouterr().out
+    # the workload is built so compute dominates; the report must name it
+    assert "bottleneck analysis" in out
+    assert "quickstart.compute" in out.split("<-- bottleneck")[0]
+    doc = json.loads(trace_out.read_text())
+    events = doc["traceEvents"]
+    assert {"M", "X", "C"} <= {ev["ph"] for ev in events}
+    names = {ev["args"]["name"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "thread_name"}
+    assert any(n.startswith("quickstart.") for n in names)
+
+
+def test_analyze_dsort_workload(tmp_path, capsys):
+    code = main(["analyze", "--workload", "dsort", "--nodes", "2",
+                 "--records-per-node", "2048",
+                 "--trace-out", str(tmp_path / "t.json"),
+                 "--metrics-out", str(tmp_path / "m.json")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "<-- bottleneck" in out
+    snap = json.loads((tmp_path / "m.json").read_text())
+    assert any(name.startswith("channel.") for name in snap["gauges"])
 
 
 def test_apps_command(capsys):
