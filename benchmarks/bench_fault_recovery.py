@@ -1,0 +1,76 @@
+"""Recovery overhead: dsort under fault injection vs the fault-free run.
+
+The robustness layer's promise is that faults cost *time*, never
+*correctness*: a chaos run must produce byte-identical sorted output and
+pay only for the retries, the straggler drag, and any pass restarts.
+This benchmark quantifies that price on the same dataset at three fault
+levels:
+
+* **baseline** — no fault plan (the injector is never consulted; the
+  timing must match the plain fault-free model);
+* **transient** — per-op disk faults + wire drops + one straggler,
+  all absorbed by retry/backoff inside the pass;
+* **restart** — the transient mix plus one permanent disk fault that
+  kills a pass-1 pipeline and forces a cluster-wide pass restart.
+"""
+
+from conftest import save_result
+
+from repro.bench.reporting import render_table
+from repro.faults import FaultPlan, chaos_plan, run_chaos_dsort
+
+NODES = 3
+RECORDS = 1500
+SEED = 42
+SIZES = dict(block_records=128, vertical_block_records=64,
+             out_block_records=128, oversample=8)
+
+
+def _run(plan):
+    return run_chaos_dsort(n_nodes=NODES, records_per_node=RECORDS,
+                           seed=SEED, plan=plan, pass_retries=2,
+                           trace=False, **SIZES)
+
+
+def fault_recovery_experiment():
+    baseline = _run(FaultPlan(seed=SEED))
+    transient = _run(chaos_plan(SEED, NODES, disk_fault_rate=0.02,
+                                drop_rate=0.01, straggler_rank=1,
+                                straggler_slowdown=2.0))
+    restart = _run(chaos_plan(SEED, NODES, disk_fault_rate=0.02,
+                              drop_rate=0.01, straggler_rank=1,
+                              straggler_slowdown=2.0,
+                              permanent_disk_op=25,
+                              permanent_disk_rank=1))
+    return baseline, transient, restart
+
+
+def test_fault_recovery_overhead(once):
+    baseline, transient, restart = once(fault_recovery_experiment)
+
+    rows = []
+    for label, rep in (("baseline", baseline), ("transient", transient),
+                       ("restart", restart)):
+        rows.append([label, rep.elapsed, rep.elapsed / baseline.elapsed,
+                     rep.fault_summary["total"], rep.pass_restarts])
+    save_result(
+        "fault_recovery",
+        f"dsort recovery overhead ({NODES} nodes, "
+        f"{NODES * RECORDS} records, seed {SEED})\n"
+        + render_table(
+            ["fault level", "simulated s", "vs baseline",
+             "faults fired", "pass restarts"], rows))
+
+    # correctness is non-negotiable: every level verified and produced
+    # the identical sorted output
+    assert baseline.verified and transient.verified and restart.verified
+    assert transient.output_digest == baseline.output_digest
+    assert restart.output_digest == baseline.output_digest
+    # the fault levels actually exercised what they claim
+    assert baseline.fault_summary["total"] == 0
+    assert transient.fault_summary["total"] > 0
+    assert transient.pass_restarts == 0
+    assert restart.pass_restarts >= 1
+    # recovery costs time, and more faults cost more of it
+    assert transient.elapsed > baseline.elapsed
+    assert restart.elapsed > transient.elapsed

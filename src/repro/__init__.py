@@ -19,7 +19,12 @@ programs.
 """
 
 from repro._version import __version__
-from repro.errors import ReproError
+from repro.errors import (
+    FaultInjected,
+    PipelineFailed,
+    ReproError,
+    RetryExhausted,
+)
 from repro.sim import (
     Channel,
     Kernel,
@@ -32,6 +37,9 @@ from repro.sim import (
 __all__ = [
     "__version__",
     "ReproError",
+    "FaultInjected",
+    "RetryExhausted",
+    "PipelineFailed",
     "Kernel",
     "Process",
     "Channel",

@@ -82,6 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--metrics-out", metavar="PATH",
                          help="also write a metrics-registry snapshot JSON")
 
+    p_chaos = sub.add_parser(
+        "chaos", help="run dsort under seeded fault injection "
+                      "(verified, with recovery stats)")
+    p_chaos.add_argument("--nodes", type=int, default=3)
+    p_chaos.add_argument("--records-per-node", type=int, default=2000)
+    p_chaos.add_argument("--seed", type=int, default=1234)
+    p_chaos.add_argument("--disk-fault-rate", type=float, default=0.02,
+                         help="per-op transient disk-fault probability")
+    p_chaos.add_argument("--drop-rate", type=float, default=0.01,
+                         help="per-message wire-drop probability")
+    p_chaos.add_argument("--straggler", type=int, default=None,
+                         metavar="RANK",
+                         help="slow one node down (compute + disk)")
+    p_chaos.add_argument("--straggler-slowdown", type=float, default=3.0)
+    p_chaos.add_argument("--kill-disk-op", type=int, default=None,
+                         metavar="N",
+                         help="permanent fault at disk op N on "
+                              "--kill-disk-rank (forces a pass restart)")
+    p_chaos.add_argument("--kill-disk-rank", type=int, default=0)
+    p_chaos.add_argument("--pass-retries", type=int, default=2,
+                         help="cluster-wide restarts allowed per pass")
+    p_chaos.add_argument("--block-records", type=int, default=128,
+                         help="pass-1 block size in records")
+    p_chaos.add_argument("--check-determinism", action="store_true",
+                         help="run twice and assert identical outputs, "
+                              "fault timelines, and event traces")
+    p_chaos.add_argument("--trace-out", metavar="PATH",
+                         help="write a Chrome-trace JSON with fault "
+                              "markers")
+
     p_an = sub.add_parser(
         "analyze",
         help="run the quickstart pipeline (or dsort) with full "
@@ -381,8 +411,49 @@ def _run_dsort_workload(kernel, args) -> list:
             and "family" not in n and not n.startswith("main")]
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos_plan, run_chaos_dsort
+
+    def make_plan():
+        return chaos_plan(args.seed, args.nodes,
+                          disk_fault_rate=args.disk_fault_rate,
+                          drop_rate=args.drop_rate,
+                          straggler_rank=args.straggler,
+                          straggler_slowdown=args.straggler_slowdown,
+                          permanent_disk_op=args.kill_disk_op,
+                          permanent_disk_rank=args.kill_disk_rank)
+
+    def run(trace_path=None):
+        return run_chaos_dsort(n_nodes=args.nodes,
+                               records_per_node=args.records_per_node,
+                               seed=args.seed, plan=make_plan(),
+                               pass_retries=args.pass_retries,
+                               block_records=args.block_records,
+                               vertical_block_records=max(
+                                   1, args.block_records // 2),
+                               out_block_records=args.block_records,
+                               trace_path=trace_path)
+
+    report = run(trace_path=args.trace_out)
+    print(report.describe())
+    if args.trace_out:
+        print(f"chrome trace written to {args.trace_out}")
+    if args.check_determinism:
+        again = run()
+        identical = (report.output_digest == again.output_digest
+                     and report.trace_digest == again.trace_digest
+                     and report.fault_events == again.fault_events)
+        print("determinism check: "
+              + ("PASS (outputs, fault timelines, and event traces "
+                 "identical)" if identical else "FAIL"))
+        if not identical:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "sort": _cmd_sort,
+    "chaos": _cmd_chaos,
     "figure8": _cmd_figure8,
     "sweep": _cmd_sweep,
     "overlap": _cmd_overlap,

@@ -15,7 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.cluster.hardware import HardwareModel
 from repro.cluster.mpi import Comm
@@ -26,17 +26,32 @@ from repro.errors import ClusterError
 from repro.sim.kernel import Kernel, Process
 from repro.sim.virtual import VirtualTimeKernel
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
+
 __all__ = ["Cluster"]
 
 
 class Cluster:
-    """P simulated nodes + network + kernel, ready to run SPMD programs."""
+    """P simulated nodes + network + kernel, ready to run SPMD programs.
+
+    Pass a :class:`~repro.faults.FaultPlan` to run the cluster under
+    deterministic fault injection: one
+    :class:`~repro.faults.FaultInjector` (exposed as :attr:`injector`) is
+    shared by every disk, NIC, and node, and ``retry_policy`` governs how
+    transient faults are absorbed (defaults to
+    :class:`~repro.faults.RetryPolicy`'s bounded backoff).
+    """
 
     def __init__(self, n_nodes: int,
                  hardware: Optional[HardwareModel] = None,
                  kernel: Optional[Kernel] = None,
                  storages: Optional[Sequence[Storage]] = None,
-                 mailbox_capacity_bytes: Optional[int] = None):
+                 mailbox_capacity_bytes: Optional[int] = None,
+                 fault_plan: Optional["FaultPlan"] = None,
+                 retry_policy: Optional["RetryPolicy"] = None):
         if n_nodes < 1:
             raise ClusterError("cluster needs at least one node")
         self.hardware = hardware if hardware is not None \
@@ -45,11 +60,18 @@ class Cluster:
         if storages is not None and len(storages) != n_nodes:
             raise ClusterError(
                 f"need {n_nodes} storages, got {len(storages)}")
+        self.injector: Optional["FaultInjector"] = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+            self.injector = FaultInjector(self.kernel, fault_plan, n_nodes)
+        self.retry_policy = retry_policy
         self.network = Network(self.kernel, self.hardware, n_nodes,
-                               mailbox_capacity_bytes=mailbox_capacity_bytes)
+                               mailbox_capacity_bytes=mailbox_capacity_bytes,
+                               injector=self.injector, retry=retry_policy)
         self.nodes = [
             Node(self.kernel, rank, self.hardware,
-                 storages[rank] if storages is not None else None)
+                 storages[rank] if storages is not None else None,
+                 injector=self.injector, retry=retry_policy)
             for rank in range(n_nodes)
         ]
         self.comms = [Comm(self.network, rank) for rank in range(n_nodes)]

@@ -11,28 +11,52 @@ stages therefore serialize on the arm — exactly the contention that makes
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
 from repro.cluster.hardware import HardwareModel
 from repro.cluster.storage import Storage
-from repro.errors import DiskError
+from repro.errors import DiskError, FaultInjected
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Resource
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
+
 __all__ = ["Disk"]
+
+#: attempt-count buckets for the per-op retry histogram
+_ATTEMPT_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
 class Disk:
-    """A single disk: storage + arm contention + I/O accounting."""
+    """A single disk: storage + arm contention + I/O accounting.
+
+    With a :class:`~repro.faults.injector.FaultInjector` attached, every
+    timed operation consults the injector (transient faults are retried
+    under ``retry``, charging the full modeled time per failed attempt;
+    permanent faults propagate) and straggler slowdowns stretch service
+    time.  Without one, behaviour is byte-identical to the fault-free
+    model.
+    """
 
     def __init__(self, kernel: Kernel, storage: Storage,
-                 hardware: HardwareModel, name: str = "disk"):
+                 hardware: HardwareModel, name: str = "disk",
+                 rank: int = 0,
+                 injector: Optional["FaultInjector"] = None,
+                 retry: Optional["RetryPolicy"] = None):
         self.kernel = kernel
         self.storage = storage
         self.hardware = hardware
         self.name = name
+        self.rank = rank
+        self.injector = injector
+        if injector is not None and retry is None:
+            from repro.faults.retry import RetryPolicy
+            retry = RetryPolicy()
+        self.retry = retry
         self.arm = Resource(kernel, capacity=1, name=f"{name}.arm")
         # accounting
         self.bytes_read = 0
@@ -42,13 +66,60 @@ class Disk:
 
     # -- timed operations (must run inside a kernel process) ----------------
 
+    def _timed_op(self, op: str, nbytes: int,
+                  fn: Callable[[], Any]) -> Any:
+        """One arm-serialized storage operation, with optional faults.
+
+        Each attempt holds the arm for the (possibly straggler-stretched)
+        modeled duration before the injector rules on it, so failed
+        attempts cost real disk time; backoff sleeps happen *outside* the
+        arm hold so other stages can use the disk meanwhile.
+        """
+        injector = self.injector
+        if injector is None:
+            with self.arm.request():
+                self.kernel.sleep(self.hardware.disk_time(nbytes))
+                return fn()
+        retry = self.retry
+        attempts = 0
+
+        def attempt() -> Any:
+            nonlocal attempts
+            attempts += 1
+            with self.arm.request():
+                duration = (self.hardware.disk_time(nbytes)
+                            * injector.disk_factor(self.rank))
+                timeout = retry.op_timeout
+                if timeout is not None and duration > timeout:
+                    self.kernel.sleep(timeout)
+                    raise FaultInjected(
+                        f"disk {op} exceeded {timeout:g}s op timeout",
+                        site=f"disk.{self.rank}", rank=self.rank)
+                self.kernel.sleep(duration)
+                injector.disk_op(self.rank, op, nbytes)
+                return fn()
+
+        registry = self.kernel.metrics
+
+        def on_retry(_attempt: int, _exc: BaseException) -> None:
+            if registry is not None:
+                registry.counter("retry.disk.retries").inc()
+
+        result = retry.call(f"disk.{self.rank}.{op}", attempt,
+                            sleep=self.kernel.sleep,
+                            rng=injector.rng(f"retry.disk.{self.rank}"),
+                            on_retry=on_retry)
+        if registry is not None:
+            registry.histogram("retry.disk.attempts",
+                               bounds=_ATTEMPT_BOUNDS).observe(attempts)
+        return result
+
     def read(self, name: str, offset: int, nbytes: int) -> np.ndarray:
         """Read ``nbytes`` at ``offset`` of file ``name``; returns uint8 array."""
         if nbytes < 0:
             raise DiskError(f"negative read length: {nbytes}")
-        with self.arm.request():
-            self.kernel.sleep(self.hardware.disk_time(nbytes))
-            data = self.storage.read(name, offset, nbytes)
+        data = self._timed_op(
+            "read", nbytes, lambda: self.storage.read(name, offset, nbytes))
         self.bytes_read += nbytes
         self.reads += 1
         return data
@@ -56,9 +127,9 @@ class Disk:
     def write(self, name: str, offset: int, data: np.ndarray) -> None:
         """Write ``data`` (any dtype, raw bytes) at ``offset`` of ``name``."""
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
-        with self.arm.request():
-            self.kernel.sleep(self.hardware.disk_time(len(raw)))
-            self.storage.write(name, offset, raw)
+        self._timed_op(
+            "write", len(raw),
+            lambda: self.storage.write(name, offset, raw))
         self.bytes_written += len(raw)
         self.writes += 1
 

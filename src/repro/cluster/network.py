@@ -24,14 +24,21 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.cluster.hardware import HardwareModel
-from repro.errors import CommError
+from repro.errors import CommError, FaultInjected
 from repro.sim.kernel import Kernel, Process
 from repro.sim.resources import Resource
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
+
 __all__ = ["Message", "Mailbox", "Network"]
+
+#: attempt-count buckets for the per-message retransmit histogram
+_ATTEMPT_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
 @dataclasses.dataclass
@@ -96,11 +103,19 @@ class Mailbox:
             return
         me = kernel.current_process()
         self._send_waiters.append((me, nbytes))
+        me.wait_info = self._wait_info
         kernel.block_current(
             locked=True,
             reason=f"reserve {nbytes}B in full {self.name} "
                    f"(cap {self.capacity_bytes}B)")
         # the receiver that freed space performed our reservation
+
+    def _wait_info(self) -> str:
+        """Deadlock-report detail: pending messages and buffered bytes."""
+        cap = ("inf" if self.capacity_bytes is None
+               else self.capacity_bytes)
+        return (f"({len(self._pending)} pending, "
+                f"{self._buffered_bytes}/{cap} B buffered)")
 
     def _fits_locked(self, nbytes: int) -> bool:
         return (self._buffered_bytes + nbytes <= self.capacity_bytes
@@ -149,9 +164,19 @@ class Mailbox:
                 return msg
         me = kernel.current_process()
         self._waiters.append((me, source, tag))
+        me.wait_info = self._wait_info
         return kernel.block_current(
             locked=True,
             reason=f"recv(src={source}, tag={tag}) <- {self.name}")
+
+    def unreserve(self, nbytes: int) -> None:
+        """Return reserved-but-never-deposited space (sender gave up)."""
+        if self.capacity_bytes is None:
+            return
+        kernel = self.kernel
+        kernel.mutex.acquire()
+        self._release_locked(nbytes)
+        kernel.mutex.release()
 
     def iprobe(self, source: Optional[int] = None,
                tag: Optional[int] = None) -> bool:
@@ -168,17 +193,33 @@ class Mailbox:
 
 
 class Network:
-    """The cluster interconnect: one tx/rx NIC pair per node + mailboxes."""
+    """The cluster interconnect: one tx/rx NIC pair per node + mailboxes.
+
+    With a :class:`~repro.faults.injector.FaultInjector` attached, the
+    network models a *reliable transport over a lossy link*: each wire
+    transmission may be dropped by the injector, in which case the sender
+    retransmits under ``retry`` (bounded attempts, deterministic
+    backoff); NIC degradation and crashed peers stretch or black-hole
+    transfers.  Without an injector, behaviour is byte-identical to the
+    fault-free model.
+    """
 
     def __init__(self, kernel: Kernel, hardware: HardwareModel,
                  n_nodes: int,
-                 mailbox_capacity_bytes: Optional[int] = None):
+                 mailbox_capacity_bytes: Optional[int] = None,
+                 injector: Optional["FaultInjector"] = None,
+                 retry: Optional["RetryPolicy"] = None):
         if n_nodes < 1:
             raise CommError("network needs at least one node")
         self.kernel = kernel
         self.hardware = hardware
         self.n_nodes = n_nodes
         self.mailbox_capacity_bytes = mailbox_capacity_bytes
+        self.injector = injector
+        if injector is not None and retry is None:
+            from repro.faults.retry import RetryPolicy
+            retry = RetryPolicy()
+        self.retry = retry
         self.tx = [Resource(kernel, 1, name=f"nic{r}.tx")
                    for r in range(n_nodes)]
         self.rx = [Resource(kernel, 1, name=f"nic{r}.rx")
@@ -204,25 +245,66 @@ class Network:
         if nbytes < 0:
             raise CommError(f"negative message size: {nbytes}")
         if src == dst:
-            # Loopback skips the NIC (a memcpy-scale cost) and never
-            # reserves bounded-mailbox space — a node blocking on its own
-            # full mailbox could only deadlock itself.
+            # Loopback skips the NIC (a memcpy-scale cost), never reserves
+            # bounded-mailbox space — a node blocking on its own full
+            # mailbox could only deadlock itself — and never faults: it
+            # does not traverse the wire.
             self.kernel.sleep(self.hardware.copy_time(nbytes))
             msg = Message(src, tag, payload, nbytes, self.kernel.now(),
                           meta)
         else:
             # With bounded mailboxes the sender claims destination buffer
-            # space before transmitting (rendezvous-style backpressure).
+            # space before transmitting (rendezvous-style backpressure);
+            # the claim survives retransmissions and is returned if the
+            # sender gives up.
             self.mailboxes[dst].reserve(nbytes)
-            with self.tx[src].request():
-                self.kernel.sleep(self.hardware.wire_time(nbytes))
-            self.bytes_sent[src] += nbytes
+            try:
+                self._transmit(src, dst, nbytes)
+            except BaseException:
+                self.mailboxes[dst].unreserve(nbytes)
+                raise
             msg = Message(src, tag, payload, nbytes,
                           self.kernel.now() + self.hardware.net_latency,
                           meta,
                           reserved=self.mailbox_capacity_bytes is not None)
         self.messages += 1
         self.mailboxes[dst].deposit(msg)
+
+    def _transmit(self, src: int, dst: int, nbytes: int) -> None:
+        """Put ``nbytes`` on the wire, retransmitting injected drops."""
+        injector = self.injector
+        if injector is None:
+            with self.tx[src].request():
+                self.kernel.sleep(self.hardware.wire_time(nbytes))
+            self.bytes_sent[src] += nbytes
+            return
+        injector.check_alive(src, f"net.{src}")
+        attempts = 0
+
+        def attempt() -> None:
+            nonlocal attempts
+            attempts += 1
+            with self.tx[src].request():
+                self.kernel.sleep(self.hardware.wire_time(nbytes)
+                                  * injector.wire_factor(src))
+            self.bytes_sent[src] += nbytes
+            if injector.message_fate(src, dst, nbytes) == "drop":
+                raise FaultInjected("message dropped on the wire",
+                                    site=f"net.{src}->{dst}", rank=src)
+
+        registry = self.kernel.metrics
+
+        def on_retry(_attempt: int, _exc: BaseException) -> None:
+            if registry is not None:
+                registry.counter("retry.net.retransmits").inc()
+
+        self.retry.call(f"net.{src}->{dst}.send", attempt,
+                        sleep=self.kernel.sleep,
+                        rng=injector.rng(f"retry.net.{src}"),
+                        on_retry=on_retry)
+        if registry is not None:
+            registry.histogram("retry.net.attempts",
+                               bounds=_ATTEMPT_BOUNDS).observe(attempts)
 
     def recv(self, dst: int, source: Optional[int] = None,
              tag: Optional[int] = None) -> Message:
@@ -233,8 +315,11 @@ class Network:
         if gap > 0:
             self.kernel.sleep(gap)
         if msg.src != dst:
+            factor = (self.injector.wire_factor(dst)
+                      if self.injector is not None else 1.0)
             with self.rx[dst].request():
-                self.kernel.sleep(self.hardware.wire_time(msg.nbytes))
+                self.kernel.sleep(self.hardware.wire_time(msg.nbytes)
+                                  * factor)
             self.bytes_received[dst] += msg.nbytes
         return msg
 

@@ -10,13 +10,17 @@ nodes (paper, Section II).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.disk import Disk
 from repro.cluster.hardware import HardwareModel
 from repro.cluster.storage import MemoryStorage, Storage
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["Node"]
 
@@ -25,13 +29,17 @@ class Node:
     """A single node of the simulated cluster."""
 
     def __init__(self, kernel: Kernel, rank: int, hardware: HardwareModel,
-                 storage: Optional[Storage] = None):
+                 storage: Optional[Storage] = None,
+                 injector: Optional["FaultInjector"] = None,
+                 retry: Optional["RetryPolicy"] = None):
         self.kernel = kernel
         self.rank = rank
         self.hardware = hardware
+        self.injector = injector
         self.storage = storage if storage is not None else MemoryStorage()
         self.disk = Disk(kernel, self.storage, hardware,
-                         name=f"node{rank}.disk")
+                         name=f"node{rank}.disk", rank=rank,
+                         injector=injector, retry=retry)
         self.cores = Resource(kernel, hardware.cores_per_node,
                               name=f"node{rank}.cores")
         #: accumulated modeled compute seconds (stats)
@@ -40,11 +48,19 @@ class Node:
     # -- compute charging ---------------------------------------------------
 
     def compute(self, seconds: float) -> None:
-        """Occupy one core for ``seconds`` of modeled computation."""
+        """Occupy one core for ``seconds`` of modeled computation.
+
+        On a straggler node the injector stretches the charge; on a
+        crashed node the charge raises a permanent fault.
+        """
         if seconds < 0:
             raise ValueError(f"negative compute time: {seconds}")
         if seconds == 0.0:
             return
+        if self.injector is not None:
+            self.injector.check_alive(self.rank,
+                                      f"node{self.rank}.compute")
+            seconds *= self.injector.compute_factor(self.rank)
         with self.cores.request():
             self.kernel.sleep(seconds)
         self.compute_time += seconds

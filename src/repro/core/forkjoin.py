@@ -32,7 +32,7 @@ from repro.core.buffer import Buffer
 from repro.core.pipeline import Pipeline
 from repro.core.program import FGProgram
 from repro.core.stage import Stage
-from repro.errors import PipelineStructureError, StageError
+from repro.errors import KernelShutdown, PipelineStructureError, StageError
 from repro.sim.channel import Channel
 
 __all__ = ["ForkJoin", "add_fork_join"]
@@ -111,6 +111,18 @@ def add_fork_join(prog: FGProgram, name: str, *,
         nbuffers=nbuffers, buffer_bytes=buffer_bytes, rounds=None)
 
     def fork(ctx):
+        # The control channel is out-of-band plumbing the generic pipeline
+        # teardown knows nothing about, so a dying fork must close it
+        # itself or the join would wait on it forever.
+        try:
+            _fork_loop(ctx)
+        except KernelShutdown:
+            raise
+        except BaseException:
+            control.put(_EOS)
+            raise
+
+    def _fork_loop(ctx):
         while True:
             buf = ctx.accept(trunk)
             if buf.is_caboose:
@@ -125,6 +137,10 @@ def add_fork_join(prog: FGProgram, name: str, *,
                     f"fork-join {name!r}: route() returned unknown "
                     f"branch {key!r}; known: {sorted(branch_pipelines)}")
             branch_buf = ctx.accept(branch_pipelines[key])
+            if branch_buf.is_caboose:
+                raise StageError(
+                    f"fork-join {name!r}: branch {key!r} pipeline failed "
+                    "underneath the fork")
             _copy_buffer(branch_buf, buf, ctx)
             control.put(key)
             ctx.convey(branch_buf)
@@ -142,6 +158,10 @@ def add_fork_join(prog: FGProgram, name: str, *,
                     f"fork-join {name!r}: branch {key!r} ended before "
                     "delivering its routed buffer")
             out = ctx.accept(post_pipeline)
+            if out.is_caboose:
+                raise StageError(
+                    f"fork-join {name!r}: post pipeline failed underneath "
+                    "the join")
             _copy_buffer(out, branch_buf, ctx)
             ctx.convey(branch_buf)  # home to its branch sink
             ctx.convey(out)

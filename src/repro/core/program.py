@@ -31,14 +31,19 @@ Typical use, inside a per-node SPMD main::
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core.buffer import Buffer
 from repro.core.context import StageContext
 from repro.core.pipeline import Pipeline
 from repro.core.stage import Stage, StageStats
 from repro.core.virtual import Family, Stop, VirtualGroup
-from repro.errors import PipelineStructureError
+from repro.errors import (
+    KernelShutdown,
+    PipelineFailed,
+    PipelineStructureError,
+    StageFailure,
+)
 from repro.obs.observer import ProgramObserver
 from repro.sim.channel import Channel
 from repro.sim.kernel import Kernel, Process
@@ -57,8 +62,18 @@ class FGProgram:
         self.pipelines: list[Pipeline] = []
         #: the single event path for stage stats and metrics (repro.obs)
         self.observer = ProgramObserver(self)
+        #: optional hook fired once per stage failure, from inside the
+        #: failing stage's process: ``hook(stage, pipelines, exc)``.  Used
+        #: for cross-node compensation (e.g. dsort flushing end markers so
+        #: peer receive stages are not left waiting on a dead sender).
+        self.on_pipeline_failure: Optional[
+            Callable[[Stage, list[Pipeline], BaseException], None]] = None
         self._started = False
         self._procs: list[Process] = []
+        # graceful-teardown state (see _stage_failed)
+        self._failures: list[StageFailure] = []
+        self._poisoned: set[int] = set()
+        self._flushed: set[int] = set()
         # materialized at assembly:
         self._in_q: dict[tuple[int, int], Channel] = {}
         self._sink_q: dict[int, Channel] = {}
@@ -213,6 +228,7 @@ class FGProgram:
                     queue = Channel(
                         self.kernel,
                         name=f"{self.name}.{p.name}->{s.name}")
+                    queue.owner = f"{self.name}.{p.name}"
                 self._in_q[(id(p), id(s))] = queue
             if family is not None:
                 self._sink_q[id(p)] = family.sink_queue
@@ -220,8 +236,10 @@ class FGProgram:
             else:
                 self._sink_q[id(p)] = Channel(
                     self.kernel, name=f"{self.name}.{p.name}->sink")
+                self._sink_q[id(p)].owner = f"{self.name}.{p.name}"
                 self._recycle[id(p)] = Channel(
                     self.kernel, name=f"{self.name}.{p.name}.recycle")
+                self._recycle[id(p)].owner = f"{self.name}.{p.name}"
             pool = [Buffer(p, i, p.buffer_bytes, with_aux=p.aux_buffers)
                     for i in range(p.nbuffers)]
             self._buffers[id(p)] = pool
@@ -239,6 +257,41 @@ class FGProgram:
             for p, s in group.members:
                 group.contexts[id(p)] = StageContext(self, s, [p])
 
+    # -- graceful teardown --------------------------------------------------------------
+
+    def _stage_failed(self, stage: Stage, pipelines: Sequence[Pipeline],
+                      exc: BaseException) -> None:
+        """Poison ``pipelines`` after ``stage`` raised ``exc``.
+
+        Runs in the failing stage's process.  Records the stage-level
+        causal chain, conveys a caboose past the dead stage on every
+        affected pipeline — so downstream stages drain, sinks send Stop,
+        and sources wind down — and fires :attr:`on_pipeline_failure` for
+        cross-node compensation.  Sibling pipelines keep running; the
+        failure surfaces from :meth:`wait` as
+        :class:`~repro.errors.PipelineFailed`.
+        """
+        for p in pipelines:
+            self._failures.append(StageFailure(p.name, stage.name, exc))
+            self._poisoned.add(id(p))
+            self.observer.poisoned(p)
+            self.out_queue(p, stage).put(Buffer.caboose(p))
+        if self.on_pipeline_failure is not None:
+            try:
+                self.on_pipeline_failure(stage, list(pipelines), exc)
+            except KernelShutdown:
+                raise
+            except BaseException:  # noqa: BLE001 - compensation is
+                pass                # best-effort; the root cause is kept
+
+    def _flush_poisoned_source(self, p: Pipeline) -> None:
+        """Emit one caboose into a poisoned pipeline so stages upstream
+        of the dead one (still blocked accepting) drain and exit.  Only
+        fires when the source had not emitted its natural caboose yet."""
+        if id(p) in self._poisoned and id(p) not in self._flushed:
+            self._flushed.add(id(p))
+            self._in_q[(id(p), id(p.stages[0]))].put(Buffer.caboose(p))
+
     # -- runner loops -------------------------------------------------------------------
 
     def _run_source(self, p: Pipeline) -> None:
@@ -248,6 +301,7 @@ class FGProgram:
         while p.rounds is None or emitted < p.rounds:
             item = recycle.get()
             if isinstance(item, Stop):
+                self._flush_poisoned_source(p)
                 return
             item.clear()
             item.round = emitted
@@ -278,6 +332,8 @@ class FGProgram:
         while pending:
             item = recycle.get()
             if isinstance(item, Stop):
+                if id(item.pipeline) in pending:
+                    self._flush_poisoned_source(item.pipeline)
                 pending.pop(id(item.pipeline), None)
                 continue
             p = item.pipeline
@@ -313,7 +369,13 @@ class FGProgram:
                 if buf.is_caboose:
                     ctx.forward(buf)
                     return
-                out = stage.fn(ctx, buf)
+                try:
+                    out = stage.fn(ctx, buf)
+                except KernelShutdown:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - poison, not
+                    self._stage_failed(stage, ctx.pipelines, exc)  # abort
+                    return
                 if out is not None:
                     ctx.convey(out)
         finally:
@@ -322,7 +384,12 @@ class FGProgram:
     def _run_full_stage(self, stage: Stage, ctx: StageContext) -> None:
         self.observer.stage_started(stage)
         try:
-            stage.fn(ctx)
+            try:
+                stage.fn(ctx)
+            except KernelShutdown:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - poison, not abort
+                self._stage_failed(stage, ctx.pipelines, exc)
         finally:
             self.observer.stage_finished(stage)
 
@@ -349,7 +416,14 @@ class FGProgram:
                 # shared-queue wait is attributed to the member whose
                 # buffer ended it — the best available approximation
                 self.observer.accepted(stage, wait)
-                out = stage.fn(ctx, buf)
+                try:
+                    out = stage.fn(ctx, buf)
+                except KernelShutdown:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - poison only
+                    self._stage_failed(stage, [buf.pipeline], exc)  # member
+                    live.discard(pid)
+                    continue
                 if out is not None:
                     ctx.convey(out)
                 if (pid, id(stage)) in self._stage_eos:
@@ -398,9 +472,46 @@ class FGProgram:
         return procs
 
     def wait(self) -> None:
-        """Join every FG process (call from inside a kernel process)."""
+        """Join every FG process (call from inside a kernel process).
+
+        When stages failed, the surviving pipelines first run to
+        completion; then stranded buffers are drained back to their
+        pools and :class:`~repro.errors.PipelineFailed` is raised with
+        the stage-level causal chain.
+        """
         for proc in self._procs:
             proc.join()
+        if self._failures:
+            self._drain_poisoned()
+            raise PipelineFailed(list(self._failures))
+
+    def _drain_poisoned(self) -> None:
+        """Return buffers stranded in poisoned pipelines' queues to their
+        pools.  Runs after every FG process joined, so the queues are
+        inert; shared (family/group) queues are drained once."""
+        seen: set[int] = set()
+        drained: dict[int, int] = {}
+        for p in self.pipelines:
+            if id(p) not in self._poisoned:
+                continue
+            queues = [self._in_q[(id(p), id(s))] for s in p.stages]
+            queues.append(self._sink_q[id(p)])
+            for q in queues:
+                if id(q) in seen:
+                    continue
+                seen.add(id(q))
+                while True:
+                    ok, item = q.try_get()
+                    if not ok:
+                        break
+                    if isinstance(item, Buffer) and not item.is_caboose:
+                        owner = item.pipeline
+                        self._recycle[id(owner)].put(item)
+                        drained[id(owner)] = drained.get(id(owner), 0) + 1
+        for p in self.pipelines:
+            count = drained.get(id(p), 0)
+            if count:
+                self.observer.drained(p, count)
 
     def run(self) -> None:
         """``start()`` + ``wait()`` — the usual way to execute a program."""

@@ -84,6 +84,47 @@ class StorageError(ClusterError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection / robustness errors
+# ---------------------------------------------------------------------------
+
+
+class FaultError(ReproError):
+    """Base class for deterministic-fault-injection errors."""
+
+
+class FaultInjected(FaultError):
+    """A fault scheduled by a :class:`~repro.faults.FaultPlan` fired.
+
+    ``transient`` faults are retryable at the operation level (the
+    component's :class:`~repro.faults.RetryPolicy` backs off and retries);
+    ``permanent`` faults fail fast and surface to the pipeline/pass layer,
+    where recovery means tearing down and re-running coarser work.
+    """
+
+    def __init__(self, message: str, *, site: str = "?",
+                 rank: int = -1, permanent: bool = False):
+        detail = "permanent" if permanent else "transient"
+        super().__init__(f"injected {detail} {site} fault"
+                         f"{f' at rank {rank}' if rank >= 0 else ''}: "
+                         f"{message}")
+        self.site = site
+        self.rank = rank
+        self.permanent = permanent
+
+
+class RetryExhausted(FaultError):
+    """An operation kept failing through every attempt its
+    :class:`~repro.faults.RetryPolicy` allowed; wraps the last fault."""
+
+    def __init__(self, op: str, attempts: int, last: BaseException):
+        super().__init__(f"{op} failed after {attempts} attempt(s): "
+                         f"{last!r}")
+        self.op = op
+        self.attempts = attempts
+        self.last = last
+
+
+# ---------------------------------------------------------------------------
 # FG (core framework) errors
 # ---------------------------------------------------------------------------
 
@@ -104,6 +145,49 @@ class PipelineStructureError(FGError):
 
 class StageError(FGError):
     """A stage misused its context (accept after caboose, bad convey, ...)."""
+
+
+class StageFailure:
+    """One entry of a :class:`PipelineFailed` causal chain (not an
+    exception itself: it records *where* a failure happened)."""
+
+    def __init__(self, pipeline: str, stage: str, cause: BaseException):
+        self.pipeline = pipeline
+        self.stage = stage
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return (f"pipeline {self.pipeline!r} failed at stage "
+                f"{self.stage!r}: {self.cause!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StageFailure {self}>"
+
+
+class PipelineFailed(FGError):
+    """One or more pipelines were torn down after a stage raised.
+
+    Unlike :class:`~repro.errors.ProcessFailed` — which aborts the whole
+    kernel — this error is raised by
+    :meth:`~repro.core.program.FGProgram.wait` after the *surviving*
+    pipelines ran to completion: a failed stage poisons only its own
+    pipeline(s).  :attr:`failures` lists the stage-level causal chain in
+    failure order; ``__cause__`` is the first original exception.
+    """
+
+    def __init__(self, failures: "list[StageFailure]"):
+        self.failures = list(failures)
+        super().__init__("; ".join(str(f) for f in self.failures))
+        if self.failures:
+            self.__cause__ = self.failures[0].cause
+
+    @property
+    def pipelines(self) -> "list[str]":
+        """Names of the failed pipelines, in failure order, deduplicated."""
+        seen: dict[str, None] = {}
+        for f in self.failures:
+            seen.setdefault(f.pipeline, None)
+        return list(seen)
 
 
 # ---------------------------------------------------------------------------

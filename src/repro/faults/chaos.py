@@ -1,0 +1,157 @@
+"""One-call chaos harness: dsort under a seeded fault plan, verified.
+
+:func:`run_chaos_dsort` builds a faulted cluster, sorts a generated
+dataset with pass-level recovery enabled, verifies the striped output
+against the dataset manifest, and returns a :class:`ChaosReport` with
+everything a caller needs to assert determinism: a digest of the output
+bytes, a digest of the full scheduler event timeline, the fired fault
+events, and the metrics snapshot.  Two calls with the same arguments
+must produce byte-identical reports — that property is what the CLI's
+``repro chaos --check-determinism`` and the chaos property tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Optional
+
+from repro.faults.injector import FaultEvent
+from repro.faults.plan import FaultPlan, chaos_plan
+
+__all__ = ["ChaosReport", "run_chaos_dsort"]
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Everything observable about one chaos run (JSON-able via asdict)."""
+
+    seed: int
+    n_nodes: int
+    total_records: int
+    #: simulated seconds for the whole run
+    elapsed: float
+    #: cluster-wide pass restarts the recovery layer needed
+    pass_restarts: int
+    #: True when the striped output matched the manifest exactly
+    verified: bool
+    #: sha256 over the raw output record bytes, in global order
+    output_digest: str
+    #: sha256 over the scheduler event timeline ("" when tracing was off)
+    trace_digest: str
+    #: every fault the injector fired, in virtual-time order
+    fault_events: list[FaultEvent]
+    #: fault counts by kind (injector summary)
+    fault_summary: dict
+    #: full metrics snapshot (counters/gauges/histograms)
+    metrics: dict
+
+    def describe(self) -> str:
+        """Multi-line human summary (used by ``repro chaos``)."""
+        lines = [
+            f"chaos dsort: seed={self.seed} nodes={self.n_nodes} "
+            f"records={self.total_records}",
+            f"  elapsed          {self.elapsed:.3f} simulated s",
+            f"  verified         {self.verified}",
+            f"  pass restarts    {self.pass_restarts}",
+            f"  faults fired     {self.fault_summary.get('total', 0)} "
+            f"{self.fault_summary.get('by_kind', {})}",
+        ]
+        counters = self.metrics.get("counters", {})
+        for key in ("retry.disk.retries", "retry.net.retransmits",
+                    "recovery.pass_restarts"):
+            if key in counters:
+                value = counters[key]
+                if isinstance(value, dict):
+                    value = value.get("value", value)
+                lines.append(f"  {key:16s} {value:g}")
+        lines.append(f"  output sha256    {self.output_digest[:16]}…")
+        if self.trace_digest:
+            lines.append(f"  trace sha256     {self.trace_digest[:16]}…")
+        return "\n".join(lines)
+
+
+def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
+                    seed: int = 1234, *,
+                    plan: Optional[FaultPlan] = None,
+                    retry: Optional[Any] = None,
+                    pass_retries: int = 2,
+                    distribution: str = "uniform",
+                    hardware: Optional[Any] = None,
+                    block_records: int = 256,
+                    vertical_block_records: int = 128,
+                    out_block_records: int = 256,
+                    oversample: int = 8,
+                    verify: bool = True,
+                    trace: bool = True,
+                    trace_path: Optional[str] = None) -> ChaosReport:
+    """Run one seeded chaos dsort end to end and report on it.
+
+    ``plan`` defaults to :func:`~repro.faults.plan.chaos_plan` derived
+    from ``seed`` (transient disk faults + message drops everywhere).
+    ``trace_path`` optionally writes a Chrome-trace JSON (with fault
+    markers) next to the run.  Deterministic: same arguments, same
+    report.
+    """
+    # Imports are local so that ``import repro.faults`` stays light and
+    # free of cycles (the cluster layer itself imports repro.faults).
+    from repro.cluster.cluster import Cluster
+    from repro.pdm.records import RecordSchema
+    from repro.pdm.striped import StripedFile
+    from repro.sim.trace import Tracer
+    from repro.sim.virtual import VirtualTimeKernel
+    from repro.sorting.dsort import DsortConfig, run_dsort
+    from repro.sorting.verify import verify_striped_output
+    from repro.workloads.generator import generate_input
+
+    if plan is None:
+        plan = chaos_plan(seed, n_nodes)
+    kernel = VirtualTimeKernel(tracer=Tracer() if trace else None)
+    kernel.enable_metrics()
+    cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel,
+                      fault_plan=plan, retry_policy=retry)
+    schema = RecordSchema.paper_16()
+    manifest = generate_input(cluster, schema, records_per_node,
+                              distribution, seed=seed)
+    config = DsortConfig(block_records=block_records,
+                         vertical_block_records=vertical_block_records,
+                         out_block_records=out_block_records,
+                         oversample=oversample, seed=seed,
+                         pass_retries=pass_retries)
+    reports = cluster.run(run_dsort, schema, config)
+    elapsed = kernel.now()
+
+    verified = False
+    if verify:
+        verify_striped_output(cluster, manifest, config.output_file,
+                              out_block_records)
+        verified = True
+    out = StripedFile(cluster, config.output_file, schema,
+                      out_block_records).read_all()
+    output_digest = hashlib.sha256(out.tobytes()).hexdigest()
+
+    trace_digest = ""
+    if trace:
+        h = hashlib.sha256()
+        for ev in kernel.tracer.events:
+            h.update(f"{ev.time:.9e}|{ev.process}|{ev.kind}|"
+                     f"{ev.detail}\n".encode())
+        trace_digest = h.hexdigest()
+        if trace_path is not None:
+            from repro.obs.chrome_trace import write_chrome_trace
+            write_chrome_trace(trace_path, kernel.tracer,
+                               metrics=kernel.metrics)
+
+    injector = cluster.injector
+    return ChaosReport(
+        seed=seed, n_nodes=n_nodes,
+        total_records=manifest.total_records,
+        elapsed=elapsed,
+        pass_restarts=reports[0].pass_restarts,
+        verified=verified,
+        output_digest=output_digest,
+        trace_digest=trace_digest,
+        fault_events=list(injector.events) if injector is not None else [],
+        fault_summary=(injector.summary() if injector is not None
+                       else {"total": 0, "by_kind": {}}),
+        metrics=kernel.metrics.snapshot())

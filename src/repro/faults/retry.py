@@ -1,0 +1,99 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is pure data plus arithmetic: it never sleeps or
+draws randomness itself.  Callers supply the kernel's ``sleep`` and a
+per-site RNG (usually :meth:`~repro.faults.injector.FaultInjector.rng`),
+which keeps retry timing — like the faults that trigger it — an exact
+function of the plan seed and the virtual-time schedule.
+
+Semantics, shared by the disk and network wiring:
+
+* a *transient* :class:`~repro.errors.FaultInjected` is retried up to
+  ``max_attempts`` total attempts, backing off
+  ``base_delay * multiplier**(attempt-1)`` (capped at ``max_delay``) with
+  up to ``jitter`` fractional reduction drawn from the RNG;
+* a *permanent* fault is re-raised immediately — retrying cannot help;
+* when attempts run out the caller gets
+  :class:`~repro.errors.RetryExhausted` wrapping the last fault;
+* ``op_timeout``, when set, bounds the modeled duration of one attempt:
+  an attempt that would take longer is charged ``op_timeout`` seconds and
+  counts as a transient failure (used by the disk layer to cut off
+  straggler-slowed operations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+from repro.errors import FaultError, FaultInjected, RetryExhausted
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff; see module docstring for semantics."""
+
+    max_attempts: int = 4
+    base_delay: float = 1e-3
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+    jitter: float = 0.5
+    op_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise FaultError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise FaultError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise FaultError(
+                f"op_timeout must be positive, got {self.op_timeout}")
+
+    def backoff(self, attempt: int, rng: Any = None) -> float:
+        """Delay before retrying after failed attempt number ``attempt``
+        (1-based).  With an RNG, jitter shaves a deterministic fraction
+        off the nominal delay (de-synchronizing retry storms)."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 - self.jitter * float(rng.random())
+        return delay
+
+    def call(self, op: str, fn: Callable[[], Any], *,
+             sleep: Callable[[float], None], rng: Any = None,
+             on_retry: Optional[Callable[[int, BaseException], None]]
+             = None) -> Any:
+        """Run ``fn`` under this policy; returns its result.
+
+        ``sleep`` consumes backoff time (the kernel's sleep);
+        ``on_retry(attempt, exc)`` fires before each backoff — the wiring
+        layers use it to bump retry counters.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except FaultInjected as exc:
+                if exc.permanent:
+                    raise
+                if attempt >= self.max_attempts:
+                    raise RetryExhausted(op, attempt, exc) from exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.backoff(attempt, rng)
+                if delay > 0:
+                    sleep(delay)
+
+
+#: fail on the first fault — the pre-robustness behaviour
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -107,3 +107,21 @@ class ProgramObserver:
         gauge = self._in_flight(pipeline)
         if gauge is not None:
             gauge.add(-1)
+
+    # -- graceful teardown ---------------------------------------------------
+
+    def poisoned(self, pipeline: "Pipeline") -> None:
+        """A stage failure poisoned this pipeline (teardown started)."""
+        registry = self.registry
+        if registry is not None:
+            registry.counter(
+                f"fg.{self.program.name}.pipeline.{pipeline.name}"
+                ".poisoned").inc()
+
+    def drained(self, pipeline: "Pipeline", count: int) -> None:
+        """``count`` stranded buffers were drained back to the pool."""
+        registry = self.registry
+        if registry is not None:
+            registry.counter(
+                f"fg.{self.program.name}.pipeline.{pipeline.name}"
+                ".buffers_drained").inc(count)

@@ -39,6 +39,9 @@ class Channel(Generic[T]):
         self.kernel = kernel
         self.capacity = capacity
         self.name = name
+        #: label of whoever owns this channel (an FG program sets the
+        #: pipeline name); surfaced in deadlock reports
+        self.owner: Optional[str] = None
         self._buf: deque[T] = deque()
         self._getq: deque[Process] = deque()
         self._putq: deque[tuple[Process, T]] = deque()
@@ -71,6 +74,12 @@ class Channel(Generic[T]):
         if self._m_occupancy is not None:
             self._m_occupancy.set(len(self._buf))
 
+    def _wait_info(self) -> str:
+        """Deadlock-report detail: live occupancy, capacity, and owner."""
+        cap = "inf" if self.capacity is None else self.capacity
+        owner = f", pipeline {self.owner}" if self.owner else ""
+        return f"(occupancy {len(self._buf)}/{cap}{owner})"
+
     # -- queries (racy by nature; fine under the cooperative kernel) -------
 
     def __len__(self) -> int:
@@ -102,6 +111,7 @@ class Channel(Generic[T]):
             return
         me = kernel.current_process()
         self._putq.append((me, item))
+        me.wait_info = self._wait_info
         outcome = kernel.block_current(locked=True,
                                        reason=f"put -> {self.name}")
         if outcome == _CLOSED:
@@ -132,6 +142,7 @@ class Channel(Generic[T]):
             raise ChannelClosed(f"get on closed, empty channel {self.name!r}")
         me = kernel.current_process()
         self._getq.append(me)
+        me.wait_info = self._wait_info
         kind, payload = kernel.block_current(locked=True,
                                              reason=f"get <- {self.name}")
         if kind == _CLOSED:

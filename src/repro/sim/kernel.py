@@ -77,6 +77,10 @@ class Process:
         #: human-readable description of what the process is blocked on;
         #: surfaced in deadlock reports.
         self.waiting_on: Optional[str] = None
+        #: optional zero-arg callable set by the synchronization object the
+        #: process is parked on; resolved at deadlock-report time to append
+        #: live detail (channel occupancy/capacity, owning pipeline, ...).
+        self.wait_info: Optional[Callable[[], str]] = None
         #: one-slot mailbox used by wakers to hand data to a parked process
         #: (e.g. a channel item) before making it ready.
         self.wake_value: Any = None
@@ -278,5 +282,13 @@ class Kernel:
     def _describe_blocked(procs: Iterable[Process]) -> str:
         lines = []
         for p in procs:
-            lines.append(f"  - {p.name}: waiting on {p.waiting_on or '?'}")
+            line = f"  - {p.name}: waiting on {p.waiting_on or '?'}"
+            if p.wait_info is not None:
+                try:
+                    detail = p.wait_info()
+                except Exception:  # noqa: BLE001 - report must not fail
+                    detail = ""
+                if detail:
+                    line += f" {detail}"
+            lines.append(line)
         return "\n".join(lines)

@@ -77,6 +77,7 @@ class RealTimeKernel(Kernel):
             raise KernelShutdown()
         me.state = ProcessState.RUNNING
         me.waiting_on = None
+        me.wait_info = None
         value, me.wake_value = me.wake_value, None
         return value
 
@@ -86,6 +87,7 @@ class RealTimeKernel(Kernel):
         proc.wake_value = wake_value
         proc.state = ProcessState.READY
         proc.waiting_on = None
+        proc.wait_info = None
         proc._resume_event.set()
 
     # -- process lifecycle ---------------------------------------------------------

@@ -70,6 +70,11 @@ class Resource:
         self._busy_integral += self.in_use * (now - self._last_change)
         self._last_change = now
 
+    def _wait_info(self) -> str:
+        """Deadlock-report detail: units in use and queue length."""
+        return (f"(in use {self.in_use}/{self.capacity}, "
+                f"{len(self._waiters)} queued)")
+
     # -- acquire / release ----------------------------------------------------------
 
     def acquire(self, units: int = 1) -> None:
@@ -88,6 +93,7 @@ class Resource:
             return
         me = kernel.current_process()
         self._waiters.append((me, units))
+        me.wait_info = self._wait_info
         kernel.block_current(locked=True,
                              reason=f"acquire {units}x {self.name}")
         # The releaser already performed the accounting and the decrement

@@ -27,6 +27,10 @@ SPAWN = "spawn"
 PARK = "park"
 RESUME = "resume"
 FINISH = "finish"
+#: instantaneous marker recorded by the fault injector (not a state
+#: transition: interval reconstruction ignores it; the Chrome exporter
+#: renders it as an instant event)
+FAULT = "fault"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -100,6 +100,7 @@ class VirtualTimeKernel(Kernel):
         proc.wake_value = wake_value
         proc.state = ProcessState.READY
         proc.waiting_on = None
+        proc.wait_info = None
         self._ready.append(proc)
 
     # -- scheduling core -------------------------------------------------------
@@ -137,6 +138,7 @@ class VirtualTimeKernel(Kernel):
             raise KernelShutdown()
         me.state = ProcessState.RUNNING
         me.waiting_on = None
+        me.wait_info = None
         if self.tracer is not None:
             self.tracer.record(self._now, me.name, RESUME)
 

@@ -4,22 +4,30 @@
 ``Cluster.run`` (or spawn it per rank yourself).  Barriers separate the
 phases so the per-phase durations reported by every rank agree, matching
 how the paper's Figure 8 stacks per-pass times.
+
+Recovery: with ``pass_retries > 0``, each pass is a cluster-wide
+checkpointable unit.  After every pass the ranks agree (allgather)
+whether anyone's pipelines failed; on failure every rank discards the
+pass's partial artifacts (run files / output stripes), drains stale
+messages, and the whole pass restarts from the previous checkpoint —
+pass 1 restarts from the input, pass 2 from the sorted runs.  See
+docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cluster.mpi import Comm
 from repro.cluster.node import Node
 from repro.core import FGProgram
-from repro.errors import SortError
+from repro.errors import PipelineFailed, SortError
 from repro.pdm.blockfile import RecordFile
 from repro.pdm.records import RecordSchema
-from repro.sorting.dsort.pass1 import build_pass1
-from repro.sorting.dsort.pass2 import build_pass2
+from repro.sorting.dsort.pass1 import TAG_PASS1, build_pass1
+from repro.sorting.dsort.pass2 import TAG_PASS2, build_pass2
 from repro.sorting.dsort.sampling import select_splitters
 
 __all__ = ["DsortConfig", "DsortReport", "run_dsort"]
@@ -46,12 +54,17 @@ class DsortConfig:
     #: delete run files after pass 2 (untimed cleanup)
     cleanup_runs: bool = True
     seed: int = 0
+    #: cluster-wide restarts allowed per pass (0 = fail fast); each pass
+    #: is a checkpoint, so a retried pass 2 restarts from the sorted runs
+    pass_retries: int = 0
 
     def __post_init__(self):
         for field in ("block_records", "vertical_block_records",
                       "out_block_records", "nbuffers", "oversample"):
             if getattr(self, field) < 1:
                 raise SortError(f"{field} must be >= 1")
+        if self.pass_retries < 0:
+            raise SortError("pass_retries must be >= 0")
 
 
 @dataclasses.dataclass
@@ -66,6 +79,8 @@ class DsortReport:
     partition_records: int
     #: number of sorted runs merged in pass 2
     n_runs: int
+    #: cluster-wide pass restarts this run needed (0 on a clean run)
+    pass_restarts: int = 0
 
     @property
     def total_time(self) -> float:
@@ -91,13 +106,25 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
 
     # Pass 1: partition + distribute -> sorted runs on every node.
     state: dict = {}
-    prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"dsort-p1@{comm.rank}")
-    build_pass1(prog1, node, comm, schema, splitters,
-                input_file=config.input_file, run_prefix=config.run_prefix,
-                block_records=config.block_records,
-                nbuffers=config.nbuffers, state=state)
-    prog1.run()
+
+    def run_pass1(attempt: int) -> None:
+        state.clear()
+        suffix = f".r{attempt}" if attempt else ""
+        prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
+                          name=f"dsort-p1@{comm.rank}{suffix}")
+        build_pass1(prog1, node, comm, schema, splitters,
+                    input_file=config.input_file,
+                    run_prefix=config.run_prefix,
+                    block_records=config.block_records,
+                    nbuffers=config.nbuffers, state=state)
+        prog1.run()
+
+    def reset_pass1() -> None:
+        _discard_runs(node, config.run_prefix)
+        _drain_stale(comm, TAG_PASS1)
+
+    p1_restarts = _attempt_pass(comm, kernel, "pass1", config.pass_retries,
+                                run_pass1, reset_pass1)
     comm.barrier()
     t2 = kernel.now()
 
@@ -106,21 +133,34 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
     local_total = sum(n for _, n in runs)
     totals = comm.allgather(local_total)
     start_global = sum(totals[:comm.rank])
-    # (re)create the output file at its exact final local size
     my_records = _striped_share(sum(totals), config.out_block_records,
                                 comm.size, comm.rank)
     out_rf = RecordFile(node.disk, config.output_file, schema)
-    out_rf.delete()
-    node.disk.storage.truncate(config.output_file,
-                               my_records * schema.record_bytes)
-    prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"dsort-p2@{comm.rank}")
-    build_pass2(prog2, node, comm, schema, runs, start_global,
-                output_file=config.output_file,
-                vertical_block_records=config.vertical_block_records,
-                out_block_records=config.out_block_records,
-                nbuffers=config.nbuffers)
-    prog2.run()
+    p2_state: dict = {}
+
+    def run_pass2(attempt: int) -> None:
+        p2_state.clear()
+        # (re)create the output file at its exact final local size; the
+        # striped writes are idempotent, so a retried pass overwrites any
+        # partial stripes from the failed attempt
+        out_rf.delete()
+        node.disk.storage.truncate(config.output_file,
+                                   my_records * schema.record_bytes)
+        suffix = f".r{attempt}" if attempt else ""
+        prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
+                          name=f"dsort-p2@{comm.rank}{suffix}")
+        build_pass2(prog2, node, comm, schema, runs, start_global,
+                    output_file=config.output_file,
+                    vertical_block_records=config.vertical_block_records,
+                    out_block_records=config.out_block_records,
+                    nbuffers=config.nbuffers, state=p2_state)
+        prog2.run()
+
+    def reset_pass2() -> None:
+        _drain_stale(comm, TAG_PASS2)
+
+    p2_restarts = _attempt_pass(comm, kernel, "pass2", config.pass_retries,
+                                run_pass2, reset_pass2)
     comm.barrier()
     t3 = kernel.now()
 
@@ -133,7 +173,65 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
                        pass1_time=t2 - t1,
                        pass2_time=t3 - t2,
                        partition_records=local_total,
-                       n_runs=len(runs))
+                       n_runs=len(runs),
+                       pass_restarts=p1_restarts + p2_restarts)
+
+
+def _attempt_pass(comm: Comm, kernel, pass_name: str, retries: int,
+                  run_fn: Callable[[int], None],
+                  reset_fn: Callable[[], None]) -> int:
+    """Run one dsort pass SPMD, restarting it cluster-wide on failure.
+
+    Returns the number of restarts performed.  With ``retries == 0`` the
+    pass runs exactly once and a failure propagates unwrapped — no extra
+    collective traffic on the fault-free path.  Otherwise the ranks
+    allgather their failure status after every attempt: if anyone's
+    pipelines failed, every rank resets (``reset_fn``), synchronizes, and
+    reruns the pass, up to ``retries`` restarts.
+    """
+    if retries <= 0:
+        run_fn(0)
+        return 0
+    for attempt in range(retries + 1):
+        failure: Optional[PipelineFailed] = None
+        try:
+            run_fn(attempt)
+        except PipelineFailed as exc:
+            failure = exc
+        if all(comm.allgather(failure is None)):
+            return attempt
+        if attempt == retries:
+            if failure is not None:
+                raise failure
+            raise SortError(
+                f"dsort {pass_name} failed on a peer node after "
+                f"{retries + 1} attempts")
+        if comm.rank == 0 and kernel.metrics is not None:
+            kernel.metrics.counter("recovery.pass_restarts").inc()
+        reset_fn()
+        # no rank may start resending before every rank finished draining
+        comm.barrier()
+    raise AssertionError("unreachable")
+
+
+def _discard_runs(node: Node, run_prefix: str) -> None:
+    """Delete every run file of the failed pass-1 attempt, including ones
+    written by stages that died before registering them in ``state``."""
+    prefix = run_prefix + "."
+    for name in list(node.disk.names()):
+        if name.startswith(prefix):
+            node.disk.delete(name)
+
+
+def _drain_stale(comm: Comm, tag: int) -> None:
+    """Consume leftover messages of a failed pass attempt.
+
+    Called after the failure allgather, so every sender has finished
+    (successfully or by teardown): anything still matching ``tag`` is
+    debris from this attempt and would corrupt the rerun's matching.
+    """
+    while comm.iprobe(tag=tag):
+        comm.recv(tag=tag)
 
 
 def _striped_share(total_records: int, block_records: int, n_nodes: int,

@@ -17,6 +17,12 @@ unbalanced communication that motivated FG's disjoint-pipeline extension.
 End-of-stream: after its caboose, every send stage sends one empty message
 to every node; a receive stage that has collected all P end markers (and
 drained leftovers) conveys its own caboose.
+
+Failure compensation: if the send stage itself dies, peers would wait
+forever for this node's end markers, so the program's failure hook sends
+them on the dead stage's behalf (``state['p1_ends_sent']`` guards against
+double-sending).  A receive stage that accepts a caboose — its pipeline
+was poisoned by a downstream failure — forwards it and bows out.
 """
 
 from __future__ import annotations
@@ -96,7 +102,19 @@ def build_pass1(prog: FGProgram, node: Node, comm: Comm,
             ctx.convey(buf)
         for dest in range(P):
             comm.send(dest, schema.empty(0), tag=TAG_PASS1)  # end marker
+        state["p1_ends_sent"] = True
         ctx.forward(buf)
+
+    def on_failure(stage, pipelines, exc):
+        # Any other stage's failure still reaches `send` as a caboose and
+        # the markers go out on the normal path; only a dead send stage
+        # leaves peers hanging.
+        if stage.name == "send" and not state.get("p1_ends_sent"):
+            state["p1_ends_sent"] = True
+            for dest in range(P):
+                comm.send(dest, schema.empty(0), tag=TAG_PASS1)
+
+    prog.on_pipeline_failure = on_failure
 
     prog.add_pipeline(
         "send",
@@ -131,6 +149,9 @@ def build_pass1(prog: FGProgram, node: Node, comm: Comm,
             take = min(block_records, len(records))
             leftover = records[take:] if take < len(records) else None
             buf = ctx.accept()
+            if buf.is_caboose:  # pipeline poisoned by a downstream failure
+                ctx.forward(buf)
+                return
             node.compute_copy(take * rec_bytes)  # pack into pipeline buffer
             buf.put(records[:take])
             ctx.convey(buf)

@@ -23,6 +23,7 @@ sizes were.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -44,13 +45,17 @@ def build_pass2(prog: FGProgram, node: Node, comm: Comm,
                 schema: RecordSchema, runs: list[tuple[str, int]],
                 start_global: int, output_file: str,
                 vertical_block_records: int, out_block_records: int,
-                nbuffers: int) -> None:
+                nbuffers: int, state: Optional[dict] = None) -> None:
     """Add pass-2's vertical, horizontal, and receive pipelines to ``prog``.
 
     ``runs`` lists this node's sorted runs from pass 1; ``start_global``
     is the global rank of this node's smallest record (exclusive prefix
-    sum of per-node totals).
+    sum of per-node totals).  ``state`` (if given) records
+    ``state['p2_ends_sent']`` so the failure hook can tell whether peers
+    still need this node's end markers.
     """
+    if state is None:
+        state = {}
     P = comm.size
     rec_bytes = schema.record_bytes
     vB = vertical_block_records
@@ -96,7 +101,19 @@ def build_pass2(prog: FGProgram, node: Node, comm: Comm,
             ctx.convey(buf)
         for dest in range(P):
             comm.send(dest, schema.empty(0), tag=TAG_PASS2)  # end marker
+        state["p2_ends_sent"] = True
         ctx.forward(buf)
+
+    def on_failure(stage, pipelines, exc):
+        # A dead send stage can no longer deliver end markers, and every
+        # peer's receive stage counts on them; send in its stead.  Other
+        # stage failures reach `send` as a caboose and take the normal path.
+        if stage.name == "send" and not state.get("p2_ends_sent"):
+            state["p2_ends_sent"] = True
+            for dest in range(P):
+                comm.send(dest, schema.empty(0), tag=TAG_PASS2)
+
+    prog.on_pipeline_failure = on_failure
 
     horizontal = prog.add_pipeline(
         "merge-out", [merge_stage, Stage.source_driven("send", send)],
@@ -122,6 +139,12 @@ def build_pass2(prog: FGProgram, node: Node, comm: Comm,
         emitted = 0
         while not merger.exhausted:
             out = ctx.accept(horizontal)
+            if out.is_caboose:
+                # The horizontal pipeline was poisoned below us (send
+                # failed) and its source flushed this caboose.  Raising
+                # poisons the verticals too, so their sources wind down.
+                raise SortError(
+                    "pass-2 output pipeline failed underneath merge")
             position = start_global + emitted
             block = position // outB
             offset = position % outB
@@ -165,6 +188,9 @@ def build_pass2(prog: FGProgram, node: Node, comm: Comm,
                     f"node {comm.rank} received block {block} owned by "
                     f"node {block % P}")
             buf = ctx.accept()
+            if buf.is_caboose:  # pipeline poisoned by a downstream failure
+                ctx.forward(buf)
+                return
             node.compute_copy(msg.payload.nbytes)
             buf.put(msg.payload)
             buf.tags.update(msg.meta)

@@ -3,21 +3,26 @@
 import pytest
 
 from repro.core import FGProgram, Stage
-from repro.errors import ProcessFailed, StageError
+from repro.errors import PipelineFailed, ProcessFailed, StageError
 from repro.sim import VirtualTimeKernel
 
 
 def run_expect_failure(build, expected_type=StageError,
                        fragment: str = ""):
+    """A stage bug must tear the pipeline down gracefully and surface as
+    PipelineFailed whose causal chain preserves the original error."""
     kernel = VirtualTimeKernel()
     prog = build(kernel)
     kernel.spawn(prog.run, name="driver")
     with pytest.raises(ProcessFailed) as exc_info:
         kernel.run()
-    assert isinstance(exc_info.value.original, expected_type)
+    failed = exc_info.value.original
+    assert isinstance(failed, PipelineFailed)
+    cause = failed.failures[0].cause
+    assert isinstance(cause, expected_type)
     if fragment:
-        assert fragment in str(exc_info.value.original)
-    return exc_info.value.original
+        assert fragment in str(cause)
+    return cause
 
 
 def test_accept_names_pipeline_stage_is_not_in():

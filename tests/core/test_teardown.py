@@ -1,0 +1,142 @@
+"""Graceful teardown: a failed stage poisons only its own pipeline.
+
+The acceptance property of the robustness layer at the FG level: when a
+stage raises in one of two disjoint pipelines, the sibling pipeline runs
+to completion, the failed pipeline's stranded buffers return to their
+pool, and :meth:`FGProgram.wait` raises :class:`PipelineFailed` whose
+causal chain names exactly the failed pipeline and stage.
+"""
+
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import PipelineFailed, StageFailure
+from repro.sim import VirtualTimeKernel
+
+
+def run_program(prog, kernel):
+    failure = []
+
+    def driver():
+        try:
+            prog.run()
+        except PipelineFailed as exc:
+            failure.append(exc)
+
+    kernel.spawn(driver, name="driver")
+    kernel.run()
+    return failure[0] if failure else None
+
+
+def test_failed_stage_poisons_only_its_own_pipeline():
+    kernel = VirtualTimeKernel()
+    kernel.enable_metrics()
+    prog = FGProgram(kernel, name="tear")
+    good_rounds = []
+
+    def bad(ctx, buf):
+        if buf.round == 1:
+            raise RuntimeError("stage blew up")
+        return buf
+
+    def good(ctx, buf):
+        kernel.sleep(1.0)  # sibling is still mid-flight when bad dies
+        good_rounds.append(buf.round)
+        return buf
+
+    prog.add_pipeline("doomed", [Stage.map("bad", bad)],
+                      nbuffers=2, buffer_bytes=8, rounds=6)
+    prog.add_pipeline("healthy", [Stage.map("good", good)],
+                      nbuffers=2, buffer_bytes=8, rounds=6)
+    failure = run_program(prog, kernel)
+
+    # the sibling pipeline completed all of its rounds
+    assert good_rounds == list(range(6))
+    # the failure names exactly the doomed pipeline and its stage
+    assert isinstance(failure, PipelineFailed)
+    assert failure.pipelines == ["doomed"]
+    assert all(isinstance(f, StageFailure) for f in failure.failures)
+    assert failure.failures[0].stage == "bad"
+    assert isinstance(failure.failures[0].cause, RuntimeError)
+    assert failure.__cause__ is failure.failures[0].cause
+    assert "doomed" in str(failure) and "stage blew up" in str(failure)
+
+    # teardown is observable: poisoned once, and no counter for the
+    # healthy sibling
+    counters = kernel.metrics.snapshot()["counters"]
+    assert counters["fg.tear.pipeline.doomed.poisoned"]["value"] == 1
+    assert "fg.tear.pipeline.healthy.poisoned" not in counters
+
+
+def test_stranded_buffers_drain_back_to_the_pool():
+    kernel = VirtualTimeKernel()
+    kernel.enable_metrics()
+    prog = FGProgram(kernel, name="drain")
+    accepted = []
+
+    def dead_end(ctx, buf):
+        accepted.append(buf.round)
+        raise ValueError("dies on first buffer")
+
+    prog.add_pipeline("p", [Stage.map("dead-end", dead_end)],
+                      nbuffers=4, buffer_bytes=8, rounds=8)
+    failure = run_program(prog, kernel)
+
+    assert isinstance(failure, PipelineFailed)
+    assert accepted == [0]
+    # every in-flight buffer (minus the one consumed by the failing call,
+    # which unwound with the stage) was drained back to the recycle pool
+    counters = kernel.metrics.snapshot()["counters"]
+    assert counters["fg.drain.pipeline.p.buffers_drained"]["value"] >= 1
+
+
+def test_multiple_failures_accumulate_in_failure_order():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+
+    def die_at(when, label):
+        def fn(ctx, buf):
+            kernel.sleep(when)
+            raise RuntimeError(label)
+        return fn
+
+    prog.add_pipeline("first", [Stage.map("s1", die_at(1.0, "one"))],
+                      nbuffers=1, buffer_bytes=8, rounds=2)
+    prog.add_pipeline("second", [Stage.map("s2", die_at(2.0, "two"))],
+                      nbuffers=1, buffer_bytes=8, rounds=2)
+    failure = run_program(prog, kernel)
+
+    assert isinstance(failure, PipelineFailed)
+    assert failure.pipelines == ["first", "second"]
+    assert [str(f.cause) for f in failure.failures] == ["one", "two"]
+    # __cause__ chains to the *first* root cause
+    assert str(failure.__cause__) == "one"
+
+
+def test_failure_in_shared_stage_poisons_the_whole_family():
+    """A stage shared by an intersecting-pipeline family takes every
+    pipeline it serves down with it, and wait() reports each one."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+
+    def merge(ctx):
+        ctx.accept(left)
+        ctx.accept(right)
+        raise RuntimeError("merge failed")
+
+    shared = Stage.source_driven("merge", merge)
+    left = prog.add_pipeline("left", [shared], nbuffers=2,
+                             buffer_bytes=8, rounds=2)
+    right = prog.add_pipeline("right", [shared], nbuffers=2,
+                              buffer_bytes=8, rounds=2)
+    failure = run_program(prog, kernel)
+    assert isinstance(failure, PipelineFailed)
+    assert sorted(failure.pipelines) == ["left", "right"]
+
+
+def test_fault_free_program_raises_nothing():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    prog.add_pipeline("ok", [Stage.map("id", lambda ctx, buf: buf)],
+                      nbuffers=2, buffer_bytes=8, rounds=3)
+    assert run_program(prog, kernel) is None

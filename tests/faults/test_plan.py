@@ -1,0 +1,97 @@
+"""Tests for the declarative fault-plan layer (pure data, no RNG)."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultPlan, chaos_plan
+from repro.faults.plan import (
+    DiskFaultAt,
+    DiskFaults,
+    MessageDrops,
+    NicDegradation,
+    NodeCrash,
+    Straggler,
+    in_window,
+)
+
+
+def test_empty_plan():
+    plan = FaultPlan(seed=3)
+    assert plan.empty
+    assert plan.seed == 3
+    assert "seed=3" in plan.describe()
+
+
+def test_builders_chain_and_fill_groups():
+    plan = (FaultPlan(seed=7)
+            .with_disk_faults(rate=0.1)
+            .with_disk_fault_at(rank=1, op_index=5)
+            .with_message_drops(rate=0.05, src=0, dst=2)
+            .with_nic_degradation(factor=2.0, rank=1)
+            .with_straggler(rank=2, slowdown=4.0)
+            .with_node_crash(rank=0, at=10.0))
+    assert not plan.empty
+    assert plan.disk_faults == [DiskFaults(0.1)]
+    assert plan.disk_fault_ats == [DiskFaultAt(1, 5)]
+    assert plan.message_drops == [MessageDrops(0.05, src=0, dst=2)]
+    assert plan.nic_degradations == [NicDegradation(2.0, rank=1)]
+    assert plan.stragglers == [Straggler(2, 4.0)]
+    assert plan.node_crashes == [NodeCrash(0, 10.0)]
+    # one describe line per spec plus the header
+    assert len(plan.describe().splitlines()) == 7
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.5])
+def test_rates_must_be_probabilities(bad):
+    with pytest.raises(FaultError):
+        DiskFaults(rate=bad)
+    with pytest.raises(FaultError):
+        MessageDrops(rate=bad)
+
+
+def test_windows_validated():
+    with pytest.raises(FaultError):
+        DiskFaults(rate=0.1, start=-1.0)
+    with pytest.raises(FaultError):
+        MessageDrops(rate=0.1, start=5.0, end=4.0)
+
+
+def test_factor_and_slowdown_must_not_speed_up():
+    with pytest.raises(FaultError):
+        NicDegradation(factor=0.5)
+    with pytest.raises(FaultError):
+        Straggler(rank=0, slowdown=0.9)
+
+
+def test_negative_op_index_and_crash_time_rejected():
+    with pytest.raises(FaultError):
+        DiskFaultAt(rank=0, op_index=-1)
+    with pytest.raises(FaultError):
+        NodeCrash(rank=0, at=-0.1)
+
+
+def test_in_window_half_open():
+    assert in_window(1.0, 2.0, 1.0)
+    assert not in_window(1.0, 2.0, 2.0)
+    assert not in_window(1.0, 2.0, 0.5)
+    assert in_window(0.0, None, 1e9)
+
+
+def test_chaos_plan_standard_recipe():
+    plan = chaos_plan(11, 4, straggler_rank=2, permanent_disk_op=30,
+                      permanent_disk_rank=1)
+    assert plan.seed == 11
+    assert len(plan.disk_faults) == 1 and not plan.disk_faults[0].permanent
+    assert len(plan.message_drops) == 1
+    assert plan.stragglers[0].rank == 2
+    spec = plan.disk_fault_ats[0]
+    assert (spec.rank, spec.op_index, spec.permanent) == (1, 30, True)
+
+
+def test_chaos_plan_zero_rates_give_empty_plan():
+    assert chaos_plan(0, 2, disk_fault_rate=0.0, drop_rate=0.0).empty
+
+
+def test_chaos_plan_rejects_out_of_range_straggler():
+    with pytest.raises(FaultError):
+        chaos_plan(0, 2, straggler_rank=5)

@@ -1,0 +1,114 @@
+"""Tests for bounded retry with exponential backoff."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError, FaultInjected, RetryExhausted
+from repro.faults import NO_RETRY, RetryPolicy
+
+
+def flaky(failures, exc_factory=None):
+    """An op that fails ``failures`` times, then succeeds with "ok"."""
+    calls = []
+
+    def fn():
+        calls.append(None)
+        if len(calls) <= failures:
+            if exc_factory is not None:
+                raise exc_factory()
+            raise FaultInjected("boom", site="disk.0", rank=0)
+        return "ok"
+
+    fn.calls = calls
+    return fn
+
+
+def test_success_first_try_never_sleeps():
+    slept = []
+    policy = RetryPolicy()
+    assert policy.call("read", flaky(0), sleep=slept.append) == "ok"
+    assert slept == []
+
+
+def test_transient_faults_retried_with_exponential_backoff():
+    slept = []
+    policy = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2.0,
+                         max_delay=1.0, jitter=0.0)
+    fn = flaky(3)
+    assert policy.call("read", fn, sleep=slept.append) == "ok"
+    assert len(fn.calls) == 4
+    assert slept == pytest.approx([0.01, 0.02, 0.04])
+
+
+def test_backoff_capped_at_max_delay():
+    policy = RetryPolicy(base_delay=0.1, multiplier=10.0, max_delay=0.25,
+                         jitter=0.0)
+    assert policy.backoff(1) == pytest.approx(0.1)
+    assert policy.backoff(2) == pytest.approx(0.25)
+    assert policy.backoff(5) == pytest.approx(0.25)
+
+
+def test_jitter_shaves_a_deterministic_fraction():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+
+    def rng():
+        return np.random.Generator(np.random.Philox(42))
+
+    first = [policy.backoff(1, rng=rng()) for _ in range(3)]
+    second = [policy.backoff(1, rng=rng()) for _ in range(3)]
+    assert first == second
+    assert all(0.05 <= d <= 0.1 for d in first)
+
+
+def test_permanent_fault_fails_fast():
+    slept = []
+    policy = RetryPolicy(max_attempts=5)
+    fn = flaky(5, lambda: FaultInjected("dead", site="disk.0", rank=0,
+                                        permanent=True))
+    with pytest.raises(FaultInjected):
+        policy.call("read", fn, sleep=slept.append)
+    assert len(fn.calls) == 1 and slept == []
+
+
+def test_exhaustion_wraps_the_last_fault():
+    policy = RetryPolicy(max_attempts=3, jitter=0.0)
+    with pytest.raises(RetryExhausted) as exc_info:
+        policy.call("disk read", flaky(99), sleep=lambda d: None)
+    err = exc_info.value
+    assert err.op == "disk read"
+    assert err.attempts == 3
+    assert isinstance(err.last, FaultInjected)
+    assert err.__cause__ is err.last
+
+
+def test_on_retry_fires_before_each_backoff():
+    seen = []
+    policy = RetryPolicy(max_attempts=4, jitter=0.0)
+    policy.call("read", flaky(2), sleep=lambda d: None,
+                on_retry=lambda attempt, exc: seen.append(attempt))
+    assert seen == [1, 2]
+
+
+def test_other_exceptions_pass_straight_through():
+    policy = RetryPolicy(max_attempts=5)
+    with pytest.raises(ValueError):
+        policy.call("read", flaky(1, lambda: ValueError("not a fault")),
+                    sleep=lambda d: None)
+
+
+def test_no_retry_fails_on_first_transient_fault():
+    with pytest.raises(RetryExhausted) as exc_info:
+        NO_RETRY.call("read", flaky(1), sleep=lambda d: None)
+    assert exc_info.value.attempts == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(max_attempts=0),
+    dict(base_delay=-1.0),
+    dict(multiplier=0.5),
+    dict(jitter=1.5),
+    dict(op_timeout=0.0),
+])
+def test_policy_validation(kwargs):
+    with pytest.raises(FaultError):
+        RetryPolicy(**kwargs)

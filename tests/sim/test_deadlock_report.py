@@ -1,0 +1,76 @@
+"""The deadlock report carries live detail per blocked process:
+channel occupancy/capacity and owning pipeline, resource usage/queue."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim import Channel, Resource, VirtualTimeKernel
+
+
+def test_blocked_get_reports_occupancy_and_capacity():
+    kernel = VirtualTimeKernel()
+    ch = Channel(kernel, capacity=4, name="starved")
+    kernel.spawn(ch.get, name="getter")
+    with pytest.raises(DeadlockError) as exc_info:
+        kernel.run()
+    message = str(exc_info.value)
+    assert "getter" in message and "starved" in message
+    assert "(occupancy 0/4)" in message
+
+
+def test_unbounded_channel_reports_inf_capacity():
+    kernel = VirtualTimeKernel()
+    ch = Channel(kernel, name="endless")
+    kernel.spawn(ch.get, name="getter")
+    with pytest.raises(DeadlockError) as exc_info:
+        kernel.run()
+    assert "(occupancy 0/inf)" in str(exc_info.value)
+
+
+def test_blocked_put_reports_full_channel_and_owner():
+    kernel = VirtualTimeKernel()
+    ch = Channel(kernel, capacity=2, name="jammed")
+    ch.owner = "pass1.send"
+
+    def producer():
+        for i in range(3):  # third put blocks on the full channel
+            ch.put(i)
+
+    kernel.spawn(producer, name="producer")
+    with pytest.raises(DeadlockError) as exc_info:
+        kernel.run()
+    message = str(exc_info.value)
+    assert "(occupancy 2/2, pipeline pass1.send)" in message
+
+
+def test_blocked_resource_reports_usage_and_queue():
+    kernel = VirtualTimeKernel()
+    res = Resource(kernel, capacity=1, name="disk-arm")
+
+    def hog():
+        res.acquire()  # never released
+
+    def waiter():
+        kernel.sleep(1.0)
+        res.acquire()
+
+    kernel.spawn(hog, name="hog")
+    kernel.spawn(waiter, name="waiter")
+    with pytest.raises(DeadlockError) as exc_info:
+        kernel.run()
+    message = str(exc_info.value)
+    assert "waiter" in message
+    assert "(in use 1/1, 1 queued)" in message
+
+
+def test_report_lists_every_blocked_process():
+    kernel = VirtualTimeKernel()
+    a = Channel(kernel, name="qa")
+    b = Channel(kernel, capacity=1, name="qb")
+    kernel.spawn(a.get, name="first")
+    kernel.spawn(b.get, name="second")
+    with pytest.raises(DeadlockError) as exc_info:
+        kernel.run()
+    message = str(exc_info.value)
+    assert "first" in message and "qa" in message
+    assert "second" in message and "qb" in message

@@ -142,3 +142,37 @@ def test_parser_structure():
     assert args.sorter == "dsort"
     args = parser.parse_args(["figure8", "--record-bytes", "64"])
     assert args.record_bytes == 64
+
+
+def test_chaos_command_reports_and_verifies(capsys):
+    code = main(["chaos", "--nodes", "2", "--records-per-node", "360",
+                 "--seed", "5", "--disk-fault-rate", "0.05",
+                 "--drop-rate", "0.02", "--block-records", "64"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified         True" in out
+    assert "faults fired" in out
+    assert "output sha256" in out
+
+
+def test_chaos_command_determinism_check(tmp_path, capsys):
+    trace_out = tmp_path / "chaos.json"
+    code = main(["chaos", "--nodes", "2", "--records-per-node", "360",
+                 "--seed", "5", "--block-records", "64",
+                 "--check-determinism", "--trace-out", str(trace_out)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "determinism check: PASS" in out
+    doc = json.loads(trace_out.read_text())
+    assert any(ev.get("cat") == "fault" for ev in doc["traceEvents"])
+
+
+def test_chaos_command_pass_restart(capsys):
+    code = main(["chaos", "--nodes", "2", "--records-per-node", "360",
+                 "--seed", "5", "--disk-fault-rate", "0",
+                 "--drop-rate", "0", "--kill-disk-op", "20",
+                 "--kill-disk-rank", "1", "--block-records", "64"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pass restarts    1" in out
+    assert "verified         True" in out

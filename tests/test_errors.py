@@ -4,6 +4,7 @@ import inspect
 
 import pytest
 
+import repro
 import repro.errors as errors_module
 from repro.errors import (
     ChannelClosed,
@@ -11,10 +12,15 @@ from repro.errors import (
     CommError,
     DeadlockError,
     DiskError,
+    FaultError,
+    FaultInjected,
     KernelError,
+    PipelineFailed,
     ProcessFailed,
     ReproError,
+    RetryExhausted,
     SortError,
+    StageFailure,
     StorageError,
     VerificationError,
 )
@@ -52,3 +58,49 @@ def test_subfamily_relationships():
     assert issubclass(DeadlockError, KernelError)
     assert issubclass(CommError, ReproError)
     assert issubclass(ColumnsortShapeError, SortError)
+    assert issubclass(FaultInjected, FaultError)
+    assert issubclass(RetryExhausted, FaultError)
+    assert issubclass(PipelineFailed, ReproError)
+
+
+def test_fault_injected_carries_site_rank_and_permanence():
+    transient = FaultInjected("media error", site="disk.2", rank=2)
+    assert (transient.site, transient.rank) == ("disk.2", 2)
+    assert not transient.permanent
+    assert "transient disk.2 fault at rank 2" in str(transient)
+    permanent = FaultInjected("dead", site="net.0->1", rank=0,
+                              permanent=True)
+    assert permanent.permanent
+    assert "permanent" in str(permanent)
+
+
+def test_retry_exhausted_wraps_the_last_fault():
+    last = FaultInjected("boom", site="disk.0", rank=0)
+    err = RetryExhausted("disk read", 4, last)
+    assert (err.op, err.attempts, err.last) == ("disk read", 4, last)
+    assert "after 4 attempt" in str(err)
+
+
+def test_pipeline_failed_causal_chain():
+    causes = [RuntimeError("one"), RuntimeError("two")]
+    err = PipelineFailed([StageFailure("pass1.read", "read", causes[0]),
+                          StageFailure("pass1.read", "send", causes[1])])
+    assert err.pipelines == ["pass1.read"]  # deduplicated
+    assert err.__cause__ is causes[0]
+    assert "pass1.read" in str(err) and "'read'" in str(err)
+
+
+def test_stage_failure_is_a_record_not_an_exception():
+    # it describes *where* a failure happened; raising it makes no sense
+    assert not issubclass(StageFailure, BaseException)
+    entry = StageFailure("p", "s", ValueError("x"))
+    assert "pipeline 'p'" in str(entry) and "stage 's'" in str(entry)
+
+
+def test_robustness_errors_exported_at_top_level():
+    assert repro.FaultInjected is FaultInjected
+    assert repro.RetryExhausted is RetryExhausted
+    assert repro.PipelineFailed is PipelineFailed
+    for name in ("ReproError", "FaultInjected", "RetryExhausted",
+                 "PipelineFailed"):
+        assert name in repro.__all__
