@@ -1,0 +1,85 @@
+"""FGSan overhead: host wall-clock cost of the buffer sanitizer.
+
+FGSan's checks consume no virtual time by design, so the *simulated*
+elapsed time of a sanitized run is identical to the plain run — asserted
+below.  What sanitizing costs is host CPU: an ownership check on every
+``Buffer.data`` access and a state transition on every lifecycle event
+(emit/accept/convey/recycle).  This benchmark measures that price as the
+wall-clock ratio of a full dsort run with ``REPRO_SANITIZE=1`` vs
+without, interleaving repetitions so machine drift hits both arms
+equally.
+"""
+
+import os
+import statistics
+import time
+
+from conftest import save_result
+
+from repro.bench import render_table
+from repro.bench.harness import run_sort
+from repro.cluster import HardwareModel
+from repro.pdm.records import RecordSchema
+
+NODES = 2
+RECORDS = 32768
+REPS = 5
+
+
+def _hw():
+    return HardwareModel(net_bandwidth=1e9, net_latency=1e-6,
+                         disk_bandwidth=1e9, disk_seek=1e-5)
+
+
+def _timed_run(sanitize):
+    previous = os.environ.get("REPRO_SANITIZE")
+    os.environ["REPRO_SANITIZE"] = "1" if sanitize else "0"
+    try:
+        t0 = time.perf_counter()
+        run = run_sort("dsort", "uniform", RecordSchema.paper_16(),
+                       n_nodes=NODES, n_per_node=RECORDS, hardware=_hw())
+        wall = time.perf_counter() - t0
+    finally:
+        if previous is None:
+            del os.environ["REPRO_SANITIZE"]
+        else:
+            os.environ["REPRO_SANITIZE"] = previous
+    return wall, run
+
+
+def sanitizer_overhead_experiment():
+    walls = {False: [], True: []}
+    runs = {}
+    for _ in range(REPS):
+        for sanitize in (False, True):
+            wall, run = _timed_run(sanitize)
+            walls[sanitize].append(wall)
+            runs[sanitize] = run
+    return walls, runs
+
+
+def test_sanitizer_overhead(once):
+    walls, runs = once(sanitizer_overhead_experiment)
+
+    plain, sanitized = runs[False], runs[True]
+    plain_wall = statistics.median(walls[False])
+    sanitized_wall = statistics.median(walls[True])
+    ratio = sanitized_wall / plain_wall
+
+    rows = [["plain", f"{plain_wall:.3f}", "1.00x",
+             f"{plain.total_time:.6f}"],
+            ["REPRO_SANITIZE=1", f"{sanitized_wall:.3f}", f"{ratio:.2f}x",
+             f"{sanitized.total_time:.6f}"]]
+    save_result(
+        "sanitizer_overhead",
+        f"FGSan overhead on dsort ({NODES} nodes, "
+        f"{NODES * RECORDS} records, median of {REPS} interleaved reps)\n"
+        + render_table(
+            ["mode", "host wall s", "vs plain", "simulated s"], rows))
+
+    # the headline guarantee: sanitizing never changes the simulation
+    assert plain.verified and sanitized.verified
+    assert sanitized.total_time == plain.total_time
+    # wall-clock cost stays within an order of magnitude — a loose bound
+    # on purpose, since host timing on shared CI is noisy
+    assert ratio < 10.0

@@ -116,7 +116,7 @@ def run_transpose(node: Node, comm: Comm, n: int) -> TransposeReport:
         "transpose",
         [Stage.map("read", read), Stage.map("communicate", communicate),
          Stage.map("transpose", transpose_tile), Stage.map("write", write)],
-        nbuffers=3, buffer_bytes=tile_bytes, rounds=P)
+        nbuffers=4, buffer_bytes=tile_bytes, rounds=P)
     prog.run()
     comm.barrier()
 

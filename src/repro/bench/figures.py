@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence
 
 import numpy as np
@@ -14,7 +13,7 @@ from repro.bench.harness import (
     benchmark_hardware,
     run_sort,
 )
-from repro.cluster import Cluster, HardwareModel
+from repro.cluster import Cluster
 from repro.core import FGProgram, Stage
 from repro.pdm.blockfile import RecordFile
 from repro.pdm.records import RecordSchema

@@ -10,7 +10,6 @@ reports plus resource accounting.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Optional
 
 from repro.cluster import Cluster, HardwareModel

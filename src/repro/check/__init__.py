@@ -1,0 +1,27 @@
+"""repro.check: static pipeline linter + dynamic buffer sanitizer (FGSan).
+
+Two layers of correctness analysis over FG programs (docs/ANALYSIS.md):
+
+* :mod:`repro.check.linter` — rule-based static analysis of an
+  assembled :class:`~repro.core.program.FGProgram`; runs automatically
+  in ``start()`` and standalone via ``repro lint``.
+* :mod:`repro.check.sanitizer` — FGSan, the opt-in runtime
+  buffer-ownership tracker (``FGProgram(sanitize=True)`` or
+  ``REPRO_SANITIZE=1``).
+"""
+
+from repro.check.findings import Finding, LintReport, Rule, Severity
+from repro.check.linter import RULES, ignored_rules, lint_program
+from repro.check.sanitizer import Sanitizer, sanitize_from_env
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "Sanitizer",
+    "Severity",
+    "ignored_rules",
+    "lint_program",
+    "sanitize_from_env",
+]

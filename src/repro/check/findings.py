@@ -1,0 +1,115 @@
+"""Structured lint findings: rule IDs, severities, and report rendering.
+
+Every lint rule produces zero or more :class:`Finding` objects carrying
+the rule ID, severity, a human-readable message, and the offending
+pipeline/stage path.  A :class:`LintReport` aggregates them and renders
+as text (one line per finding) or JSON (for tooling)."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any, Iterable, Optional
+
+__all__ = ["Severity", "Finding", "Rule", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make :meth:`~repro.core.program.FGProgram.start`
+    raise :class:`~repro.errors.LintError`; ``WARNING`` findings are
+    recorded on the program (``prog.lint_findings``) but do not stop it.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule (ID, severity, summary)."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    summary: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation located in a program."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    program: str = ""
+    pipeline: Optional[str] = None
+    stage: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    @property
+    def path(self) -> str:
+        """The pipeline/stage location, e.g. ``fg/pass1.read/read0``."""
+        parts = [self.program or "?"]
+        if self.pipeline is not None:
+            parts.append(self.pipeline)
+        if self.stage is not None:
+            parts.append(self.stage)
+        return "/".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "program": self.program,
+            "pipeline": self.pipeline,
+            "stage": self.stage,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.rule_id} {self.severity.value}: "
+                f"{self.path}: {self.message}")
+
+
+class LintReport:
+    """The findings of one lint pass over one (or several) programs."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: list[Finding] = list(findings)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.is_error]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if not f.is_error]
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Any:
+        return iter(self.findings)
+
+    def render(self) -> str:
+        """One line per finding, then a summary line."""
+        lines = [str(f) for f in self.findings]
+        lines.append(f"{len(self.errors)} error(s), "
+                     f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }, indent=2)

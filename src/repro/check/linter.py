@@ -1,0 +1,391 @@
+"""The FG static linter: rule-based analysis of an assembled program.
+
+Run automatically from :meth:`~repro.core.program.FGProgram.start`
+(disable with ``FGProgram(lint=False)`` or ``REPRO_LINT=0``) and
+standalone via ``repro lint``.  Error-severity findings abort ``start()``
+with :class:`~repro.errors.LintError` *before* any process is spawned —
+turning what today surfaces as a mid-run ``DeadlockError`` into a fast,
+located diagnostic.
+
+Rule catalog (see docs/ANALYSIS.md for the long-form description):
+
+========  ========  =====================================================
+ID        Severity  Checks
+========  ========  =====================================================
+FG101     warning   buffer pool smaller than pipeline depth (stall)
+FG102     error     cycle in the intersecting-pipeline stage-order graph
+FG103     error     stage style/arity contract violation (fn missing,
+                    wrong parameter count for its style)
+FG104     error     ``rounds=None`` pipeline with no stage that can
+                    declare end-of-stream (guaranteed deadlock)
+FG105     error     end-of-stream declared downstream of other stages —
+                    stages before the declarer never see the caboose
+FG106     warning   ``rounds=0`` pipeline (stages never see data)
+FG107     error     dangling ``on_pipeline_failure`` hook (not callable,
+                    or wrong arity)
+FG108     error     bounded channel chain provably deadlock-prone
+                    (wait-for-graph analysis over intersecting stages)
+========  ========  =====================================================
+
+Suppress individual rules per program with
+``FGProgram(lint_ignore={"FG101"})`` or globally with
+``REPRO_LINT_IGNORE=FG101,FG108``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import types
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
+
+from repro.check.findings import Finding, LintReport, Rule, Severity
+from repro.sim.waitfor import WaitForGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import Pipeline
+    from repro.core.program import FGProgram
+    from repro.core.stage import Stage
+
+__all__ = ["RULES", "COLLECTOR", "lint_program", "ignored_rules"]
+
+#: when the ``repro lint`` CLI executes a program file, it points this at
+#: a list and every :meth:`FGProgram.lint` pass appends
+#: ``(program_name, findings)`` — letting the CLI report findings even
+#: from programs that swallow LintError themselves.
+COLLECTOR: Optional[list[tuple[str, list[Finding]]]] = None
+
+
+RULES: dict[str, Rule] = {r.rule_id: r for r in [
+    Rule("FG101", "pool-smaller-than-depth", Severity.WARNING,
+         "a pipeline with fewer buffers than stages cannot keep every "
+         "stage busy; the pipeline stalls on buffer recycling"),
+    Rule("FG102", "stage-order-cycle", Severity.ERROR,
+         "intersecting pipelines order their shared stages "
+         "inconsistently; buffers would wait on each other in a cycle"),
+    Rule("FG103", "stage-contract", Severity.ERROR,
+         "a stage function is missing or does not match its style's "
+         "calling convention (map: fn(ctx, buffer); full: fn(ctx))"),
+    Rule("FG104", "no-eos-declarer", Severity.ERROR,
+         "a rounds=None pipeline has no stage that can call "
+         "convey_caboose; the pipeline can never terminate"),
+    Rule("FG105", "caboose-unreachable", Severity.ERROR,
+         "the end-of-stream declarer is not the first stage; stages "
+         "upstream of it never see the caboose and never terminate"),
+    Rule("FG106", "zero-rounds", Severity.WARNING,
+         "a rounds=0 pipeline emits only the caboose; its stages never "
+         "see a data buffer"),
+    Rule("FG107", "dangling-failure-hook", Severity.ERROR,
+         "on_pipeline_failure is set but is not callable as "
+         "hook(stage, pipelines, exc)"),
+    Rule("FG108", "bounded-chain-deadlock", Severity.ERROR,
+         "a bounded channel chain between stages shared with another "
+         "pipeline can absorb the whole buffer pool; the wait-for "
+         "graph closes a cycle"),
+]}
+
+
+def ignored_rules(extra: Optional[Iterable[str]] = None) -> set[str]:
+    """Rule IDs suppressed via ``REPRO_LINT_IGNORE`` plus ``extra``."""
+    ignored = {r.strip().upper()
+               for r in os.environ.get("REPRO_LINT_IGNORE", "").split(",")
+               if r.strip()}
+    if extra:
+        ignored.update(r.upper() for r in extra)
+    return ignored
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _positional_bounds(fn: Callable[..., Any]) -> Optional[tuple[int, float]]:
+    """(min, max) positional arguments ``fn`` accepts, or None if
+    unknown (builtins and other signature-less callables are skipped)."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+    minimum = 0
+    maximum: float = 0
+    for param in sig.parameters.values():
+        if param.kind in (param.POSITIONAL_ONLY,
+                          param.POSITIONAL_OR_KEYWORD):
+            maximum += 1
+            if param.default is param.empty:
+                minimum += 1
+        elif param.kind is param.VAR_POSITIONAL:
+            maximum = float("inf")
+    return minimum, maximum
+
+
+def _iter_code_objects(fn: Callable[..., Any], *,
+                       max_depth: int = 4) -> Iterator[types.CodeType]:
+    """Yield ``fn``'s code object and those reachable from it.
+
+    Recurses through nested code constants (inner functions and
+    comprehensions), closure cells holding functions (e.g. fork/join
+    loops bound as siblings), and module-global functions the code
+    references by name.  Bounded by ``max_depth`` and a seen-set, so
+    arbitrary user code cannot loop the scan.
+    """
+    seen: set[int] = set()
+    frontier: list[tuple[Any, int]] = [(fn, 0)]
+    while frontier:
+        obj, depth = frontier.pop()
+        func = inspect.unwrap(obj) if callable(obj) else obj
+        code = getattr(func, "__code__", None)
+        if isinstance(obj, types.CodeType):
+            code = obj
+        if code is None or id(code) in seen or depth > max_depth:
+            continue
+        seen.add(id(code))
+        yield code
+        for const in code.co_consts:
+            if isinstance(const, types.CodeType):
+                frontier.append((const, depth + 1))
+        closure = getattr(func, "__closure__", None) or ()
+        globals_ns = getattr(func, "__globals__", {})
+        for cell in closure:
+            try:
+                value = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                continue
+            if callable(value):
+                frontier.append((value, depth + 1))
+        for name in code.co_names:
+            value = globals_ns.get(name)
+            if isinstance(value, types.FunctionType):
+                frontier.append((value, depth + 1))
+
+
+def _references_convey_caboose(fn: Optional[Callable[..., Any]]) -> bool:
+    """Best-effort static test: can ``fn`` reach a convey_caboose call?"""
+    if fn is None:
+        return False
+    return any("convey_caboose" in code.co_names
+               for code in _iter_code_objects(fn))
+
+
+def _stage_declares_eos(stage: "Stage") -> bool:
+    return _references_convey_caboose(stage.fn)
+
+
+# -- rule implementations ---------------------------------------------------
+
+
+def _check_pool_depth(prog: "FGProgram") -> Iterator[Finding]:
+    for p in prog.pipelines:
+        if p.nbuffers < len(p.stages):
+            yield Finding(
+                "FG101", Severity.WARNING,
+                f"pool of {p.nbuffers} buffer(s) is smaller than the "
+                f"pipeline depth of {len(p.stages)} stage(s); at most "
+                f"{p.nbuffers} stage(s) can hold data at once",
+                program=prog.name, pipeline=p.name)
+
+
+def _check_stage_order_cycle(prog: "FGProgram") -> Iterator[Finding]:
+    edges: dict[int, set[int]] = {}
+    names: dict[int, str] = {}
+    edge_pipelines: dict[tuple[int, int], str] = {}
+    for p in prog.pipelines:
+        for a, b in zip(p.stages, p.stages[1:]):
+            names[id(a)] = a.name
+            names[id(b)] = b.name
+            edges.setdefault(id(a), set()).add(id(b))
+            edges.setdefault(id(b), set())
+            edge_pipelines.setdefault((id(a), id(b)), p.name)
+    graph = WaitForGraph()
+    # stage names may theoretically collide; suffix ids to keep nodes
+    # unique, strip them again when rendering
+    node = {sid: f"{names[sid]}#{sid}" for sid in edges}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            graph.add_edge(node[src], node[dst])
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return
+    display = [n.rsplit("#", 1)[0] for n in cycle]
+    back = {v: k for k, v in node.items()}
+    pipes = sorted({edge_pipelines[(back[a], back[b])]
+                    for a, b in zip(cycle, cycle[1:])
+                    if (back[a], back[b]) in edge_pipelines})
+    yield Finding(
+        "FG102", Severity.ERROR,
+        f"stage order cycle {' -> '.join(display)} across pipeline(s) "
+        f"{', '.join(pipes)}; a buffer conveyed around this loop waits "
+        "on itself",
+        program=prog.name, pipeline=pipes[0] if pipes else None,
+        stage=display[0])
+
+
+def _check_stage_contract(prog: "FGProgram") -> Iterator[Finding]:
+    reported: set[int] = set()
+    for p in prog.pipelines:
+        for s in p.stages:
+            if id(s) in reported:
+                continue
+            if s.fn is None:
+                reported.add(id(s))
+                yield Finding(
+                    "FG103", Severity.ERROR,
+                    f"stage {s.name!r} has no function bound (a "
+                    "source-driven stage built with fn=None must be "
+                    "assigned one before the program starts)",
+                    program=prog.name, pipeline=p.name, stage=s.name)
+                continue
+            bounds = _positional_bounds(s.fn)
+            if bounds is None:
+                continue
+            minimum, maximum = bounds
+            want = 2 if s.style == "map" else 1
+            shape = ("fn(ctx, buffer)" if s.style == "map" else "fn(ctx)")
+            if minimum > want or maximum < want:
+                reported.add(id(s))
+                yield Finding(
+                    "FG103", Severity.ERROR,
+                    f"{s.style}-style stage {s.name!r} must be callable "
+                    f"as {shape}, but its function takes "
+                    f"{minimum}..{maximum} positional argument(s)",
+                    program=prog.name, pipeline=p.name, stage=s.name)
+
+
+def _check_eos_declarers(prog: "FGProgram") -> Iterator[Finding]:
+    for p in prog.pipelines:
+        if p.rounds is not None:
+            continue
+        declarers = [i for i, s in enumerate(p.stages)
+                     if _stage_declares_eos(s)]
+        if not declarers:
+            if any(s.style == "full" for s in p.stages):
+                # a full-control loop could still declare EOS through
+                # state the scan cannot see; don't claim certainty
+                continue
+            yield Finding(
+                "FG104", Severity.ERROR,
+                "rounds=None but no stage references convey_caboose; "
+                "nothing can ever declare end-of-stream, so the "
+                "pipeline cannot terminate",
+                program=prog.name, pipeline=p.name)
+            continue
+        first = min(declarers)
+        if first > 0 and not any(_stage_declares_eos(s) or s.style == "full"
+                                 for s in p.stages[:first]):
+            blind = ", ".join(s.name for s in p.stages[:first])
+            yield Finding(
+                "FG105", Severity.ERROR,
+                f"end-of-stream is declared by stage "
+                f"{p.stages[first].name!r} at position {first}; "
+                f"upstream stage(s) {blind} never see the caboose and "
+                "never terminate",
+                program=prog.name, pipeline=p.name,
+                stage=p.stages[first].name)
+
+
+def _check_zero_rounds(prog: "FGProgram") -> Iterator[Finding]:
+    for p in prog.pipelines:
+        if p.rounds == 0:
+            yield Finding(
+                "FG106", Severity.WARNING,
+                "rounds=0: the source emits only the caboose and the "
+                "stages never see a data buffer",
+                program=prog.name, pipeline=p.name)
+
+
+def _check_failure_hook(prog: "FGProgram") -> Iterator[Finding]:
+    hook = prog.on_pipeline_failure
+    if hook is None:
+        return
+    if not callable(hook):
+        yield Finding(
+            "FG107", Severity.ERROR,
+            f"on_pipeline_failure is {type(hook).__name__!s}, not a "
+            "callable hook(stage, pipelines, exc)",
+            program=prog.name)
+        return
+    bounds = _positional_bounds(hook)
+    if bounds is None:
+        return
+    minimum, maximum = bounds
+    if minimum > 3 or maximum < 3:
+        yield Finding(
+            "FG107", Severity.ERROR,
+            "on_pipeline_failure must be callable as "
+            f"hook(stage, pipelines, exc), but it takes "
+            f"{minimum}..{maximum} positional argument(s)",
+            program=prog.name)
+
+
+def _chain_parking(p: "Pipeline", spos: int, tpos: int) -> Optional[int]:
+    """Buffers the channel chain + intermediate stages between two stage
+    positions of ``p`` can absorb, or None when a channel is unbounded."""
+    if p.channel_capacity is None:
+        return None
+    hops = tpos - spos
+    return hops * p.channel_capacity + (hops - 1)
+
+
+def _check_bounded_chains(prog: "FGProgram") -> Iterator[Finding]:
+    for p in prog.pipelines:
+        if p.channel_capacity is None:
+            continue
+        for q in prog.pipelines:
+            if q is p:
+                continue
+            shared = [s for s in p.stages if s in q]
+            for si, s in enumerate(shared):
+                for t in shared[si + 1:]:
+                    spos_p, tpos_p = p.position_of(s), p.position_of(t)
+                    spos_q, tpos_q = q.position_of(s), q.position_of(t)
+                    if spos_p > tpos_p or spos_q > tpos_q:
+                        continue  # inconsistent order is FG102's job
+                    parking = _chain_parking(p, spos_p, tpos_p)
+                    if parking is None or p.nbuffers <= parking:
+                        continue
+                    graph = WaitForGraph()
+                    graph.add_edge(
+                        t.name, s.name,
+                        f"awaiting {q.name} data produced via "
+                        f"{s.name}")
+                    graph.add_edge(
+                        s.name, t.name,
+                        f"awaiting space in the full {p.name} chain "
+                        f"drained by {t.name}")
+                    cycle = graph.find_cycle()
+                    rendered = (graph.render_cycle(cycle)
+                                if cycle else f"{s.name} <-> {t.name}")
+                    yield Finding(
+                        "FG108", Severity.ERROR,
+                        f"{p.nbuffers} buffer(s) circulate but the "
+                        f"bounded chain {s.name} -> {t.name} "
+                        f"(capacity {p.channel_capacity} per channel) "
+                        f"parks at most {parking}; if {t.name!r} is "
+                        f"accepting from {q.name!r} the wait-for graph "
+                        f"closes a cycle: {rendered}",
+                        program=prog.name, pipeline=p.name, stage=s.name)
+
+
+_CHECKS = (
+    _check_pool_depth,
+    _check_stage_order_cycle,
+    _check_stage_contract,
+    _check_eos_declarers,
+    _check_zero_rounds,
+    _check_failure_hook,
+    _check_bounded_chains,
+)
+
+
+def lint_program(prog: "FGProgram",
+                 ignore: Optional[Iterable[str]] = None) -> LintReport:
+    """Run every lint rule over ``prog`` and return the report.
+
+    The program does not need to be started; rules operate on the
+    declared structure (pipelines, stages, hooks).
+    """
+    suppressed = ignored_rules(ignore)
+    report = LintReport()
+    for check in _CHECKS:
+        report.extend(f for f in check(prog)
+                      if f.rule_id not in suppressed)
+    return report

@@ -1,0 +1,115 @@
+"""``repro lint`` support: execute program files and collect findings.
+
+FG programs are assembled by running Python code, so the linter lints by
+*executing* each file with the module-level findings collector armed:
+every ``FGProgram.lint`` pass (triggered from ``start()``) appends its
+findings, and an error-severity finding aborts the program with
+:class:`~repro.errors.LintError` before any pipeline process spawns.
+The CLI exit code is 0 (clean), 1 (lint errors — or warnings under
+``--strict``), or 2 (a file crashed for a non-lint reason).
+"""
+
+from __future__ import annotations
+
+import json
+import runpy
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.check import linter
+from repro.check.findings import Finding, LintReport
+from repro.errors import LintError
+
+__all__ = ["lint_paths"]
+
+
+def _find_lint_error(exc: BaseException) -> Optional[LintError]:
+    """Walk an exception chain (ProcessFailed.original, __cause__, ...)
+    for the LintError that actually stopped the program."""
+    seen: set[int] = set()
+    frontier: list[BaseException] = [exc]
+    while frontier:
+        err = frontier.pop()
+        if id(err) in seen:
+            continue
+        seen.add(id(err))
+        if isinstance(err, LintError):
+            return err
+        for attr in ("original", "__cause__", "__context__"):
+            nested = getattr(err, attr, None)
+            if isinstance(nested, BaseException):
+                frontier.append(nested)
+        for failure in getattr(err, "failures", []) or []:
+            cause = getattr(failure, "cause", None)
+            if isinstance(cause, BaseException):
+                frontier.append(cause)
+    return None
+
+
+def _run_one(path: str) -> tuple[list[Finding], Optional[BaseException]]:
+    """Execute ``path`` with the collector armed; return (findings,
+    non-lint crash)."""
+    collected: list[tuple[str, list[Finding]]] = []
+    previous = linter.COLLECTOR
+    previous_argv = sys.argv
+    linter.COLLECTOR = collected
+    # the file runs as __main__ and may parse sys.argv; hand it a clean
+    # one so the repro CLI's own arguments don't leak into it
+    sys.argv = [path]
+    crash: Optional[BaseException] = None
+    try:
+        runpy.run_path(path, run_name="__main__")
+    except SystemExit as exc:
+        if exc.code not in (None, 0):
+            crash = exc
+    except BaseException as exc:  # noqa: BLE001 - report, don't die
+        if _find_lint_error(exc) is None:
+            crash = exc
+    finally:
+        linter.COLLECTOR = previous
+        sys.argv = previous_argv
+    findings = [f for _, report in collected for f in report]
+    return findings, crash
+
+
+def lint_paths(paths: Sequence[str], *, as_json: bool = False,
+               strict: bool = False,
+               out: Callable[[str], None] = print) -> int:
+    """Lint every program assembled by each file in ``paths``."""
+    per_file: dict[str, list[Finding]] = {}
+    crashes: dict[str, str] = {}
+    for path in paths:
+        findings, crash = _run_one(path)
+        per_file[path] = findings
+        if crash is not None:
+            crashes[path] = repr(crash)
+    all_findings = [f for findings in per_file.values() for f in findings]
+    report = LintReport(all_findings)
+    if as_json:
+        out(json.dumps({
+            "files": {
+                path: [f.to_dict() for f in findings]
+                for path, findings in per_file.items()
+            },
+            "crashes": crashes,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+        }, indent=2))
+    else:
+        for path, findings in per_file.items():
+            status = ("crashed" if path in crashes
+                      else "clean" if not findings else
+                      f"{len(findings)} finding(s)")
+            out(f"{path}: {status}")
+            for f in findings:
+                out(f"  {f}")
+            if path in crashes:
+                out(f"  non-lint failure: {crashes[path]}")
+        out(f"{len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s), "
+            f"{len(crashes)} crashed file(s)")
+    if crashes:
+        return 2
+    if report.errors or (strict and report.warnings):
+        return 1
+    return 0

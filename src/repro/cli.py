@@ -112,6 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Chrome-trace JSON with fault "
                               "markers")
 
+    p_lint = sub.add_parser(
+        "lint", help="statically lint the FG programs assembled by the "
+                     "given Python files (executes each file with the "
+                     "findings collector armed)")
+    p_lint.add_argument("files", nargs="+", metavar="FILE",
+                        help="program files to lint (e.g. examples/*.py)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON instead of text")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit nonzero on warnings too")
+
     p_an = sub.add_parser(
         "analyze",
         help="run the quickstart pipeline (or dsort) with full "
@@ -451,8 +462,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.check.runner import lint_paths
+
+    return lint_paths(args.files, as_json=args.json, strict=args.strict)
+
+
 _COMMANDS = {
     "sort": _cmd_sort,
+    "lint": _cmd_lint,
     "chaos": _cmd_chaos,
     "figure8": _cmd_figure8,
     "sweep": _cmd_sweep,

@@ -15,7 +15,7 @@ Storage carries **no timing**: all latency/bandwidth charging happens in
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

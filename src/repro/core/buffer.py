@@ -10,6 +10,12 @@ pipeline to another", Section IV).
 The **caboose** is a special marker buffer that signals end-of-stream: it
 is conveyed after the last data buffer, travels the pipeline in order, and
 tells each stage (and finally the sink) that the pipeline is complete.
+
+When the owning program runs with FGSan enabled
+(:mod:`repro.check.sanitizer`), every access to :attr:`Buffer.data`,
+:meth:`Buffer.view`, and :meth:`Buffer.put` is ownership-checked, so a
+stage touching a buffer it already conveyed fails at the exact offending
+line instead of corrupting a block downstream.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 from repro.errors import StageError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.check.sanitizer import Sanitizer
     from repro.core.pipeline import Pipeline
 
 __all__ = ["Buffer"]
@@ -34,7 +41,8 @@ class Buffer:
             ``None`` for cabooses.
         size: number of valid bytes currently in the buffer; stages set it
             when they fill the buffer.
-        round: emission index assigned by the source (0, 1, 2, ...).
+        round: emission index assigned by the source (0, 1, 2, ...);
+            ``-1`` while pooled (``clear()`` resets it).
         tags: free-form per-buffer metadata for stage-to-stage signalling
             (e.g. which column of the matrix this block holds).
         aux: optional auxiliary scratch array of equal capacity — the
@@ -42,41 +50,55 @@ class Buffer:
             permutations need not be in place.
     """
 
-    __slots__ = ("pipeline", "index", "data", "aux", "size", "round",
-                 "tags", "is_caboose")
+    __slots__ = ("pipeline", "index", "_data", "aux", "size", "round",
+                 "tags", "is_caboose", "_san")
 
     def __init__(self, pipeline: "Pipeline", index: int, capacity: int,
-                 with_aux: bool = False):
+                 with_aux: bool = False) -> None:
         self.pipeline = pipeline
         self.index = index
-        self.data: Optional[np.ndarray] = np.zeros(capacity, dtype=np.uint8)
+        self._data: Optional[np.ndarray] = np.zeros(capacity, dtype=np.uint8)
         self.aux: Optional[np.ndarray] = (
             np.zeros(capacity, dtype=np.uint8) if with_aux else None)
         self.size = 0
         self.round = -1
         self.tags: dict[str, Any] = {}
         self.is_caboose = False
+        #: the program's FGSan tracker when sanitizing, else None
+        self._san: Optional["Sanitizer"] = None
 
     @classmethod
-    def caboose(cls, pipeline: "Pipeline") -> "Buffer":
-        """Create the end-of-stream marker for ``pipeline``."""
+    def caboose(cls, pipeline: "Pipeline",
+                san: Optional["Sanitizer"] = None) -> "Buffer":
+        """Create the end-of-stream marker for ``pipeline``.
+
+        ``san`` attaches the program's FGSan tracker so a stage writing
+        to the marker is reported as a ``caboose_write`` violation."""
         buf = cls.__new__(cls)
         buf.pipeline = pipeline
         buf.index = -1
-        buf.data = None
+        buf._data = None
         buf.aux = None
         buf.size = 0
         buf.round = -1
         buf.tags = {}
         buf.is_caboose = True
+        buf._san = san
         return buf
 
     # -- typed access helpers -------------------------------------------------
 
     @property
+    def data(self) -> Optional[np.ndarray]:
+        """The backing byte array (ownership-checked under FGSan)."""
+        if self._san is not None:
+            self._san.on_access(self, "data")
+        return self._data
+
+    @property
     def capacity(self) -> int:
         """Backing capacity in bytes (0 for cabooses)."""
-        return 0 if self.data is None else len(self.data)
+        return 0 if self._data is None else len(self._data)
 
     @property
     def fill_fraction(self) -> float:
@@ -90,38 +112,50 @@ class Buffer:
         capacity = self.capacity
         return self.size / capacity if capacity else 0.0
 
-    def view(self, dtype: np.dtype) -> np.ndarray:
+    def view(self, dtype: Any) -> np.ndarray:
         """View the *valid* bytes (``size``) as an array of ``dtype``.
 
         The valid byte count must be a multiple of the dtype's item size.
         The view aliases the buffer — mutations write through.
         """
+        if self._san is not None:
+            self._san.on_access(self, "view")
         self._check_data("view")
+        assert self._data is not None
         itemsize = np.dtype(dtype).itemsize
         if self.size % itemsize != 0:
             raise StageError(
                 f"buffer size {self.size} is not a multiple of "
                 f"{np.dtype(dtype)} itemsize {itemsize}")
-        return self.data[:self.size].view(dtype)
+        return self._data[:self.size].view(dtype)
 
     def put(self, array: np.ndarray) -> None:
         """Copy ``array``'s raw bytes into the buffer and set ``size``."""
+        if self._san is not None:
+            self._san.on_access(self, "put")
         self._check_data("put")
+        assert self._data is not None
         raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
         if len(raw) > self.capacity:
             raise StageError(
                 f"array of {len(raw)} bytes exceeds buffer capacity "
                 f"{self.capacity}")
-        self.data[:len(raw)] = raw
+        self._data[:len(raw)] = raw
         self.size = len(raw)
 
     def clear(self) -> None:
-        """Reset valid size and metadata (data bytes are left as-is)."""
+        """Reset valid size, round, and metadata (bytes are left as-is).
+
+        ``round`` returns to ``-1`` so a recycled buffer cannot carry a
+        misleading round from its previous trip; the source restamps it
+        on the next emission.
+        """
         self.size = 0
+        self.round = -1
         self.tags.clear()
 
     def _check_data(self, op: str) -> None:
-        if self.data is None:
+        if self._data is None:
             raise StageError(f"cannot {op} on a caboose buffer")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

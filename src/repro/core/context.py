@@ -27,7 +27,7 @@ class StageContext:
     """Runtime interface between one stage and its program."""
 
     def __init__(self, program: "FGProgram", stage: Stage,
-                 pipelines: list[Pipeline]):
+                 pipelines: list[Pipeline]) -> None:
         self.program = program
         self.stage = stage
         #: pipelines containing this stage, in registration order
@@ -83,16 +83,24 @@ class StageContext:
         buf = queue.get()
         self.program.observer.accepted(self.stage,
                                        self.kernel.now() - t0)
+        sanitizer = self.program.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_accept(self.stage, p, buf)
         return buf
 
     def convey(self, buffer: Buffer) -> None:
         """Convey ``buffer`` to this stage's successor in the buffer's
         own pipeline (buffers never jump pipelines)."""
         p = buffer.pipeline
+        sanitizer = self.program.sanitizer
         if not any(q is p for q in self.pipelines):
+            if sanitizer is not None:
+                sanitizer.on_foreign_convey(self.stage, buffer)
             raise StageError(
                 f"stage {self.stage.name!r} cannot convey a buffer tied to "
                 f"pipeline {p.name!r}, which it does not belong to")
+        if sanitizer is not None:
+            sanitizer.on_convey(self.stage, buffer)
         self.program.out_queue(p, self.stage).put(buffer)
         self.program.observer.conveyed(self.stage, buffer)
 
@@ -106,7 +114,7 @@ class StageContext:
         """
         p = self._resolve(pipeline)
         self.program.mark_stage_eos(p, self.stage)
-        self.program.out_queue(p, self.stage).put(Buffer.caboose(p))
+        self.program.out_queue(p, self.stage).put(Buffer.caboose(p, self.program.sanitizer))
         self.program.observer.conveyed(self.stage)
 
     def forward(self, caboose: Buffer) -> None:

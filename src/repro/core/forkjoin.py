@@ -26,7 +26,7 @@ idle branch.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.buffer import Buffer
 from repro.core.pipeline import Pipeline
@@ -34,6 +34,9 @@ from repro.core.program import FGProgram
 from repro.core.stage import Stage
 from repro.errors import KernelShutdown, PipelineStructureError, StageError
 from repro.sim.channel import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import StageContext
 
 __all__ = ["ForkJoin", "add_fork_join"]
 
@@ -51,12 +54,15 @@ class ForkJoin:
     join_stage: Stage
 
 
-def _copy_buffer(dst: Buffer, src: Buffer, ctx) -> None:
-    """Copy payload + tags between pipelines, charging memcpy if a node
-    service is attached."""
+def _copy_buffer(dst: Buffer, src: Buffer, ctx: "StageContext") -> None:
+    """Copy payload + tags + round between pipelines, charging memcpy if
+    a node service is attached.  The round travels with the data so the
+    post pipeline sees the trunk's original emission order (``clear()``
+    resets the destination's own round to -1 first)."""
     dst.clear()
     dst.data[:src.size] = src.data[:src.size]
     dst.size = src.size
+    dst.round = src.round
     dst.tags.update(src.tags)
     node = ctx.node
     if node is not None:

@@ -33,7 +33,8 @@ class Pipeline:
     def __init__(self, name: str, stages: Sequence[Stage], *,
                  nbuffers: int, buffer_bytes: int,
                  rounds: Optional[int] = None,
-                 aux_buffers: bool = False):
+                 aux_buffers: bool = False,
+                 channel_capacity: Optional[int] = None) -> None:
         if not stages:
             raise PipelineStructureError(
                 f"pipeline {name!r} needs at least one stage")
@@ -48,6 +49,10 @@ class Pipeline:
             raise PipelineStructureError(
                 f"pipeline {name!r}: rounds must be None or >= 0, "
                 f"got {rounds}")
+        if channel_capacity is not None and channel_capacity < 0:
+            raise PipelineStructureError(
+                f"pipeline {name!r}: channel_capacity must be None or "
+                f">= 0, got {channel_capacity}")
         seen = set()
         for stage in stages:
             if id(stage) in seen:
@@ -61,6 +66,11 @@ class Pipeline:
         self.buffer_bytes = buffer_bytes
         self.rounds = rounds
         self.aux_buffers = aux_buffers
+        #: bound each inter-stage queue at assembly time (None keeps the
+        #: historical unbounded queues).  Bounding trades latency overlap
+        #: for memory determinism; the FG108 lint rule proves when a
+        #: bound combined with intersecting stages is deadlock-prone.
+        self.channel_capacity = channel_capacity
 
     def position_of(self, stage: Stage) -> int:
         """Index of ``stage`` within this pipeline (0-based)."""

@@ -31,8 +31,10 @@ Typical use, inside a per-node SPMD main::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+import os
+from typing import Any, Callable, Iterable, Optional, Sequence
 
+from repro.check.sanitizer import Sanitizer, sanitize_from_env
 from repro.core.buffer import Buffer
 from repro.core.context import StageContext
 from repro.core.pipeline import Pipeline
@@ -40,6 +42,7 @@ from repro.core.stage import Stage, StageStats
 from repro.core.virtual import Family, Stop, VirtualGroup
 from repro.errors import (
     KernelShutdown,
+    LintError,
     PipelineFailed,
     PipelineStructureError,
     StageFailure,
@@ -55,13 +58,31 @@ class FGProgram:
     """A set of pipelines assembled and run together on one node."""
 
     def __init__(self, kernel: Kernel, env: Optional[dict[str, Any]] = None,
-                 name: str = "fg"):
+                 name: str = "fg", *,
+                 lint: Optional[bool] = None,
+                 lint_ignore: Optional[Iterable[str]] = None,
+                 sanitize: Optional[bool] = None) -> None:
         self.kernel = kernel
         self.env: dict[str, Any] = dict(env) if env else {}
         self.name = name
         self.pipelines: list[Pipeline] = []
         #: the single event path for stage stats and metrics (repro.obs)
         self.observer = ProgramObserver(self)
+        # static lint gate: runs in start() unless disabled per program
+        # (lint=False) or globally (REPRO_LINT=0); suppress individual
+        # rules with lint_ignore={"FG101", ...} or REPRO_LINT_IGNORE
+        if lint is None:
+            lint = os.environ.get("REPRO_LINT", "1").lower() not in (
+                "0", "false", "off", "no")
+        self._lint_enabled = lint
+        self._lint_ignore = set(lint_ignore) if lint_ignore else set()
+        #: findings of the automatic lint pass (errors raise from start())
+        self.lint_findings: list[Any] = []
+        # FGSan: opt-in dynamic buffer-ownership sanitizer
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(self) if sanitize else None)
         #: optional hook fired once per stage failure, from inside the
         #: failing stage's process: ``hook(stage, pipelines, exc)``.  Used
         #: for cross-node compensation (e.g. dsort flushing end markers so
@@ -89,14 +110,22 @@ class FGProgram:
     def add_pipeline(self, name: str, stages: Sequence[Stage], *,
                      nbuffers: int, buffer_bytes: int,
                      rounds: Optional[int] = None,
-                     aux_buffers: bool = False) -> Pipeline:
-        """Describe a pipeline; FG adds the source and sink itself."""
+                     aux_buffers: bool = False,
+                     channel_capacity: Optional[int] = None) -> Pipeline:
+        """Describe a pipeline; FG adds the source and sink itself.
+
+        ``channel_capacity`` bounds every inter-stage queue of this
+        pipeline (None keeps the historical unbounded queues); the sink
+        and recycle channels stay unbounded so the recycling protocol
+        never wedges.
+        """
         if self._started:
             raise PipelineStructureError(
                 "cannot add pipelines after the program started")
         pipeline = Pipeline(name, stages, nbuffers=nbuffers,
                             buffer_bytes=buffer_bytes, rounds=rounds,
-                            aux_buffers=aux_buffers)
+                            aux_buffers=aux_buffers,
+                            channel_capacity=channel_capacity)
         self.pipelines.append(pipeline)
         return pipeline
 
@@ -226,7 +255,7 @@ class FGProgram:
                     queue = self._groups[s.virtual_group].shared_queue
                 else:
                     queue = Channel(
-                        self.kernel,
+                        self.kernel, capacity=p.channel_capacity,
                         name=f"{self.name}.{p.name}->{s.name}")
                     queue.owner = f"{self.name}.{p.name}"
                 self._in_q[(id(p), id(s))] = queue
@@ -256,6 +285,44 @@ class FGProgram:
         for group in self._groups.values():
             for p, s in group.members:
                 group.contexts[id(p)] = StageContext(self, s, [p])
+        self._register_waitfor_labels()
+        if self.sanitizer is not None:
+            self.sanitizer.install()
+
+    def _spawn_name(self, stage: Stage) -> str:
+        """The kernel-process name a stage runs under (see start())."""
+        if stage.virtual:
+            return f"{self.name}.vgroup[{stage.virtual_group}]"
+        return f"{self.name}.{stage.name}"
+
+    def _register_waitfor_labels(self) -> None:
+        """Tell every channel which process names produce into and
+        consume from it, so a runtime deadlock report can extract the
+        concrete wait-for cycle (see :mod:`repro.sim.waitfor`)."""
+        for i, family in enumerate(self._families):
+            src = f"{self.name}.family{i}.source"
+            snk = f"{self.name}.family{i}.sink"
+            family.sink_queue.consumers.add(snk)
+            family.recycle.producers.add(snk)
+            family.recycle.consumers.add(src)
+        for p in self.pipelines:
+            family = self._family_of(p)
+            if family is not None:
+                i = self._families.index(family)
+                source = f"{self.name}.family{i}.source"
+            else:
+                source = f"{self.name}.{p.name}.source"
+                sink = f"{self.name}.{p.name}.sink"
+                self._sink_q[id(p)].consumers.add(sink)
+                self._recycle[id(p)].producers.add(sink)
+                self._recycle[id(p)].consumers.add(source)
+            producer = source
+            for s in p.stages:
+                queue = self._in_q[(id(p), id(s))]
+                queue.producers.add(producer)
+                queue.consumers.add(self._spawn_name(s))
+                producer = self._spawn_name(s)
+            self._sink_q[id(p)].producers.add(producer)
 
     # -- graceful teardown --------------------------------------------------------------
 
@@ -275,7 +342,7 @@ class FGProgram:
             self._failures.append(StageFailure(p.name, stage.name, exc))
             self._poisoned.add(id(p))
             self.observer.poisoned(p)
-            self.out_queue(p, stage).put(Buffer.caboose(p))
+            self.out_queue(p, stage).put(Buffer.caboose(p, self.sanitizer))
         if self.on_pipeline_failure is not None:
             try:
                 self.on_pipeline_failure(stage, list(pipelines), exc)
@@ -290,7 +357,7 @@ class FGProgram:
         fires when the source had not emitted its natural caboose yet."""
         if id(p) in self._poisoned and id(p) not in self._flushed:
             self._flushed.add(id(p))
-            self._in_q[(id(p), id(p.stages[0]))].put(Buffer.caboose(p))
+            self._in_q[(id(p), id(p.stages[0]))].put(Buffer.caboose(p, self.sanitizer))
 
     # -- runner loops -------------------------------------------------------------------
 
@@ -304,11 +371,13 @@ class FGProgram:
                 self._flush_poisoned_source(p)
                 return
             item.clear()
+            if self.sanitizer is not None:
+                self.sanitizer.on_emit(p, item)
             item.round = emitted
             self.observer.emitted(p)
             first.put(item)
             emitted += 1
-        first.put(Buffer.caboose(p))
+        first.put(Buffer.caboose(p, self.sanitizer))
 
     def _run_sink(self, p: Pipeline) -> None:
         sink_q = self._sink_q[id(p)]
@@ -318,6 +387,8 @@ class FGProgram:
             if buf.is_caboose:
                 recycle.put(Stop(p))
                 return
+            if self.sanitizer is not None:
+                self.sanitizer.on_recycle(p, buf)
             self.observer.recycled(p)
             recycle.put(buf)
 
@@ -327,7 +398,7 @@ class FGProgram:
         emitted: dict[int, int] = {id(p): 0 for p in family.pipelines}
         for p in list(family.pipelines):
             if p.rounds == 0:
-                self._in_q[(id(p), id(p.stages[0]))].put(Buffer.caboose(p))
+                self._in_q[(id(p), id(p.stages[0]))].put(Buffer.caboose(p, self.sanitizer))
                 pending.pop(id(p))
         while pending:
             item = recycle.get()
@@ -341,13 +412,15 @@ class FGProgram:
             if pid not in pending:
                 continue  # stale buffer of an already-finished pipeline
             item.clear()
+            if self.sanitizer is not None:
+                self.sanitizer.on_emit(p, item)
             item.round = emitted[pid]
             self.observer.emitted(p)
             first = self._in_q[(pid, id(p.stages[0]))]
             first.put(item)
             emitted[pid] += 1
             if p.rounds is not None and emitted[pid] == p.rounds:
-                first.put(Buffer.caboose(p))
+                first.put(Buffer.caboose(p, self.sanitizer))
                 pending.pop(pid)
 
     def _run_sink_group(self, family: Family) -> None:
@@ -358,6 +431,8 @@ class FGProgram:
                 family.recycle.put(Stop(buf.pipeline))
                 remaining.discard(id(buf.pipeline))
             else:
+                if self.sanitizer is not None:
+                    self.sanitizer.on_recycle(buf.pipeline, buf)
                 self.observer.recycled(buf.pipeline)
                 family.recycle.put(buf)
 
@@ -378,6 +453,8 @@ class FGProgram:
                     return
                 if out is not None:
                     ctx.convey(out)
+                elif self.sanitizer is not None:
+                    self.sanitizer.on_drop(stage, buf)
         finally:
             self.observer.stage_finished(stage)
 
@@ -404,6 +481,8 @@ class FGProgram:
                 wait = self.kernel.now() - t0
                 pid = id(buf.pipeline)
                 if pid not in live:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_straggler(buf)
                     continue  # buffer raced past this pipeline's shutdown
                 stage = group.member_stage(pid)
                 ctx = group.contexts[pid]
@@ -412,10 +491,14 @@ class FGProgram:
                     live.discard(pid)
                     continue
                 if (pid, id(stage)) in self._stage_eos:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_straggler(buf)
                     continue  # member declared EOS itself; drop stragglers
                 # shared-queue wait is attributed to the member whose
                 # buffer ended it — the best available approximation
                 self.observer.accepted(stage, wait)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_accept(stage, buf.pipeline, buf)
                 try:
                     out = stage.fn(ctx, buf)
                 except KernelShutdown:
@@ -426,6 +509,8 @@ class FGProgram:
                     continue
                 if out is not None:
                     ctx.convey(out)
+                elif self.sanitizer is not None:
+                    self.sanitizer.on_drop(stage, buf)
                 if (pid, id(stage)) in self._stage_eos:
                     live.discard(pid)
         finally:
@@ -434,11 +519,38 @@ class FGProgram:
 
     # -- execution ------------------------------------------------------------------------
 
+    def lint(self, ignore: Optional[Iterable[str]] = None) -> list[Any]:
+        """Run the static linter over this program's declared structure.
+
+        Returns the findings (also stored on :attr:`lint_findings`).
+        Called automatically from :meth:`start` unless linting is
+        disabled; may also be called directly before starting.
+        """
+        from repro.check import linter as _linter
+        merged = set(self._lint_ignore)
+        if ignore:
+            merged.update(ignore)
+        report = _linter.lint_program(self, ignore=merged)
+        self.lint_findings = list(report)
+        if _linter.COLLECTOR is not None:
+            _linter.COLLECTOR.append((self.name, list(report)))
+        return self.lint_findings
+
     def start(self) -> list[Process]:
-        """Assemble and spawn every FG thread; returns the processes."""
+        """Assemble and spawn every FG thread; returns the processes.
+
+        The static linter (:mod:`repro.check.linter`) runs first;
+        error-severity findings raise :class:`~repro.errors.LintError`
+        before any process is spawned.
+        """
         if self._started:
             raise PipelineStructureError("program already started")
         self._started = True
+        if self._lint_enabled:
+            findings = self.lint()
+            errors = [f for f in findings if f.is_error]
+            if errors:
+                raise LintError(findings)
         self._assemble()
         procs: list[Process] = []
         spawned_sources: set[int] = set()
@@ -484,6 +596,10 @@ class FGProgram:
         if self._failures:
             self._drain_poisoned()
             raise PipelineFailed(list(self._failures))
+        if self.sanitizer is not None:
+            # leak check only on clean runs: poisoned pipelines park
+            # their buffers through _drain_poisoned instead
+            self.sanitizer.check_teardown()
 
     def _drain_poisoned(self) -> None:
         """Return buffers stranded in poisoned pipelines' queues to their

@@ -66,7 +66,7 @@ class Stage:
 
     def __init__(self, name: str, fn: Callable[..., Any], *, style: str,
                  virtual: bool = False,
-                 virtual_group: Optional[str] = None):
+                 virtual_group: Optional[str] = None) -> None:
         if style not in ("map", "full"):
             raise PipelineStructureError(f"unknown stage style {style!r}")
         if virtual and style != "map":

@@ -37,7 +37,7 @@ class Stop:
 
     __slots__ = ("pipeline",)
 
-    def __init__(self, pipeline: Pipeline):
+    def __init__(self, pipeline: Pipeline) -> None:
         self.pipeline = pipeline
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

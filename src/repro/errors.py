@@ -147,6 +147,37 @@ class StageError(FGError):
     """A stage misused its context (accept after caboose, bad convey, ...)."""
 
 
+class LintError(FGError):
+    """The static linter (:mod:`repro.check`) found error-severity
+    findings in an assembled program.
+
+    Raised from :meth:`~repro.core.program.FGProgram.start` before any
+    process is spawned, so a structurally broken program fails fast
+    instead of deadlocking mid-run.  :attr:`findings` carries the
+    structured :class:`~repro.check.Finding` list (errors and warnings).
+    """
+
+    def __init__(self, findings: "list[object]"):
+        self.findings = list(findings)
+        errors = [f for f in self.findings
+                  if getattr(f, "is_error", False)]
+        super().__init__(
+            f"lint failed with {len(errors)} error(s):\n"
+            + "\n".join(f"  {f}" for f in errors))
+
+
+class SanitizerError(FGError):
+    """FGSan (the dynamic buffer sanitizer) detected an ownership
+    violation: use-after-convey, double-convey, cross-pipeline convey,
+    a write to a caboose, stale-round reuse, or a buffer leaked at
+    teardown.  Only raised when sanitizing is enabled
+    (``FGProgram(sanitize=True)`` or ``REPRO_SANITIZE=1``)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
 class StageFailure:
     """One entry of a :class:`PipelineFailed` causal chain (not an
     exception itself: it records *where* a failure happened)."""

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
-from typing import Optional
 
 import numpy as np
 

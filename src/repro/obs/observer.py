@@ -108,6 +108,16 @@ class ProgramObserver:
         if gauge is not None:
             gauge.add(-1)
 
+    # -- sanitizer (FGSan) ----------------------------------------------------
+
+    def sanitizer_violation(self, kind: str, count: int = 1) -> None:
+        """FGSan detected ``count`` ownership violations of ``kind``
+        (use_after_convey, double_convey, cross_pipeline, caboose_write,
+        stale_round, leak, ...); counted under ``sanitizer.<kind>``."""
+        registry = self.registry
+        if registry is not None:
+            registry.counter(f"sanitizer.{kind}").inc(count)
+
     # -- graceful teardown ---------------------------------------------------
 
     def poisoned(self, pipeline: "Pipeline") -> None:

@@ -16,7 +16,7 @@ recycling path from sink back to source.  Semantics:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generic, Optional, TypeVar
+from typing import Generic, Optional, TypeVar
 
 from repro.errors import ChannelClosed
 from repro.sim.kernel import Kernel, Process
@@ -48,6 +48,12 @@ class Channel(Generic[T]):
         self._closed = False
         #: total items ever delivered through this channel (stats)
         self.delivered = 0
+        #: kernel-process names an FG program registers as this channel's
+        #: counterparties at assembly time; the deadlock wait-for-graph
+        #: analysis (:mod:`repro.sim.waitfor`) uses them to name who a
+        #: blocked process is actually waiting on
+        self.producers: set[str] = set()
+        self.consumers: set[str] = set()
         # self-instrumentation: when the kernel carries a metrics registry
         # (kernel.enable_metrics()), record queue occupancy — with a
         # time-weighted level histogram and a sample series for the
@@ -112,8 +118,10 @@ class Channel(Generic[T]):
         me = kernel.current_process()
         self._putq.append((me, item))
         me.wait_info = self._wait_info
+        me.waiting_channel = self
         outcome = kernel.block_current(locked=True,
                                        reason=f"put -> {self.name}")
+        me.waiting_channel = None
         if outcome == _CLOSED:
             raise ChannelClosed(f"channel {self.name!r} closed while putting")
 
@@ -143,8 +151,10 @@ class Channel(Generic[T]):
         me = kernel.current_process()
         self._getq.append(me)
         me.wait_info = self._wait_info
+        me.waiting_channel = self
         kind, payload = kernel.block_current(locked=True,
                                              reason=f"get <- {self.name}")
+        me.waiting_channel = None
         if kind == _CLOSED:
             raise ChannelClosed(f"channel {self.name!r} closed while getting")
         return payload

@@ -81,6 +81,10 @@ class Process:
         #: process is parked on; resolved at deadlock-report time to append
         #: live detail (channel occupancy/capacity, owning pipeline, ...).
         self.wait_info: Optional[Callable[[], str]] = None
+        #: the Channel this process is parked on (set by Channel.put/get,
+        #: cleared on wake); consumed by the deadlock wait-for-graph
+        #: analysis (:mod:`repro.sim.waitfor`).
+        self.waiting_channel: Any = None
         #: one-slot mailbox used by wakers to hand data to a parked process
         #: (e.g. a channel item) before making it ready.
         self.wake_value: Any = None

@@ -29,6 +29,7 @@ from typing import Any, Optional
 from repro.errors import DeadlockError, KernelShutdown, KernelStateError
 from repro.sim.kernel import Kernel, Process, ProcessState
 from repro.sim.trace import FINISH, PARK, RESUME, SPAWN, Tracer
+from repro.sim.waitfor import runtime_wait_cycle
 
 __all__ = ["VirtualTimeKernel"]
 
@@ -225,6 +226,9 @@ class VirtualTimeKernel(Kernel):
                 message = ("deadlock: all live processes are blocked and no "
                            "timed event is pending\n"
                            + self._describe_blocked(blocked))
+                cycle = runtime_wait_cycle(blocked)
+                if cycle is not None:
+                    message += f"\n  wait-for cycle: {cycle}"
                 self._abort_locked()  # releases mutex
                 self._finished = True
                 raise DeadlockError(message)

@@ -309,12 +309,16 @@ def _build_pass3(prog: FGProgram, node: Node, comm: Comm,
             out_local.write(local_start, records[start:start + count])
         return buf
 
+    stages = [Stage.map("read", read), Stage.map("sort5", sort5),
+              Stage.source_driven("shift", shift),
+              Stage.map("sort7", sort7),
+              Stage.source_driven("stripe", stripe),
+              Stage.map("write", write)]
+    # pass 3 is deeper than the permute passes: floor the pool at the
+    # pipeline depth so every stage can hold a buffer at once (FG101)
     prog.add_pipeline(
-        "pass3",
-        [Stage.map("read", read), Stage.map("sort5", sort5),
-         Stage.source_driven("shift", shift), Stage.map("sort7", sort7),
-         Stage.source_driven("stripe", stripe), Stage.map("write", write)],
-        nbuffers=nbuffers, buffer_bytes=2 * r * rec_bytes, rounds=spp + 1)
+        "pass3", stages, nbuffers=max(nbuffers, len(stages)),
+        buffer_bytes=2 * r * rec_bytes, rounds=spp + 1)
 
 
 def run_csort(node: Node, comm: Comm, schema: RecordSchema,

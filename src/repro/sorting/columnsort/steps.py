@@ -30,7 +30,6 @@ each column back as s/P contiguous chunks.
 from __future__ import annotations
 
 import dataclasses
-import math
 
 import numpy as np
 

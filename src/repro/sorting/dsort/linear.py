@@ -26,7 +26,6 @@ to pipeline structure alone.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from collections import deque
 from typing import Optional
@@ -36,7 +35,6 @@ import numpy as np
 from repro.cluster.mpi import Comm
 from repro.cluster.node import Node
 from repro.core import FGProgram, Stage
-from repro.errors import SortError
 from repro.pdm.blockfile import RecordFile
 from repro.pdm.records import RecordSchema
 from repro.sorting.dsort.dsort import (

@@ -25,8 +25,6 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-import numpy as np
-
 from repro.cluster.mpi import Comm
 from repro.cluster.node import Node
 from repro.core import FGProgram, Stage
@@ -138,6 +136,11 @@ def build_pass2(prog: FGProgram, node: Node, comm: Comm,
         refill()  # prime one block per run
         emitted = 0
         while not merger.exhausted:
+            if not merger.ready:
+                # only take an output buffer once a record is available,
+                # so the last buffer accepted is never abandoned unfilled
+                refill()
+                continue
             out = ctx.accept(horizontal)
             if out.is_caboose:
                 # The horizontal pipeline was poisoned below us (send

@@ -1,0 +1,35 @@
+"""A minimal lint-clean FG program (CLI test fixture)."""
+
+import sys
+
+import numpy as np
+
+from repro.core import FGProgram, Stage
+from repro.sim import VirtualTimeKernel
+
+
+def main():
+    # `repro lint` must not leak its own CLI arguments into the programs
+    # it executes
+    assert "lint" not in sys.argv, f"CLI argv leaked: {sys.argv}"
+
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="clean-fixture")
+
+    def fill(ctx, buf):
+        buf.put(np.full(8, buf.round, dtype=np.uint8))
+        return buf
+
+    def check(ctx, buf):
+        assert int(buf.view(np.uint8)[0]) == buf.round
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("fill", fill),
+                            Stage.map("check", check)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    kernel.spawn(prog.run, name="main")
+    kernel.run()
+
+
+if __name__ == "__main__":
+    main()

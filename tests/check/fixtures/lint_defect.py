@@ -1,0 +1,23 @@
+"""A seeded lint defect (CLI test fixture; CI proves lint flags it).
+
+The pipeline claims ``rounds=None`` (a stage will declare end-of-stream)
+but every stage is a plain map — nothing can ever call
+``convey_caboose``, so without the linter this program deadlocks at
+runtime.  The FG104 gate aborts it before any process spawns.
+"""
+
+from repro.core import FGProgram, Stage
+from repro.sim import VirtualTimeKernel
+
+
+def main():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="defect-fixture")
+    prog.add_pipeline("p", [Stage.map("work", lambda ctx, buf: buf)],
+                      nbuffers=2, buffer_bytes=64, rounds=None)
+    kernel.spawn(prog.run, name="main")
+    kernel.run()
+
+
+if __name__ == "__main__":
+    main()

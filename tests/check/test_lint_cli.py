@@ -1,0 +1,70 @@
+"""`repro lint` tests: exit codes, JSON output, argv isolation."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.check.runner import lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+CLEAN = os.path.join(FIXTURES, "clean_program.py")
+DEFECT = os.path.join(FIXTURES, "lint_defect.py")
+
+
+def run_lint(paths, **kwargs):
+    lines = []
+    code = lint_paths(paths, out=lines.append, **kwargs)
+    return code, "\n".join(lines)
+
+
+def test_clean_program_exits_zero():
+    code, output = run_lint([CLEAN])
+    assert code == 0
+    assert f"{CLEAN}: clean" in output
+
+
+def test_defect_fixture_exits_nonzero():
+    code, output = run_lint([DEFECT])
+    assert code == 1
+    assert "FG104" in output
+
+
+def test_mixed_batch_reports_every_file():
+    code, output = run_lint([CLEAN, DEFECT])
+    assert code == 1
+    assert f"{CLEAN}: clean" in output
+    assert "1 error(s)" in output
+
+
+def test_json_output_is_machine_readable():
+    code, output = run_lint([DEFECT], as_json=True)
+    assert code == 1
+    payload = json.loads(output)
+    findings = payload["files"][DEFECT]
+    assert findings[0]["rule"] == "FG104"
+    assert payload["errors"] == 1
+    assert payload["crashes"] == {}
+
+
+def test_crashing_file_exits_two(tmp_path):
+    crasher = tmp_path / "crasher.py"
+    crasher.write_text("raise RuntimeError('boom')\n")
+    code, output = run_lint([str(crasher)])
+    assert code == 2
+    assert "boom" in output
+
+
+def test_cli_entry_point_end_to_end():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src"] + env.get("PYTHONPATH", "").split(os.pathsep))
+    clean = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", CLEAN],
+        capture_output=True, text=True, env=env)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    defect = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", DEFECT],
+        capture_output=True, text=True, env=env)
+    assert defect.returncode == 1, defect.stdout + defect.stderr
+    assert "FG104" in defect.stdout

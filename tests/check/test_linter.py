@@ -1,0 +1,312 @@
+"""Static-linter tests: one failing fixture per rule, plus clean twins.
+
+Every fixture builds a small FGProgram and lints it without running;
+rules operate on declared structure only.
+"""
+
+import pytest
+
+from repro.check import RULES, Severity, lint_program
+from repro.core import FGProgram, Stage
+from repro.errors import LintError
+from repro.sim import VirtualTimeKernel
+
+
+def fresh_prog(**kwargs):
+    return FGProgram(VirtualTimeKernel(), name="lintee", **kwargs)
+
+
+def findings_for(prog, rule_id):
+    return [f for f in lint_program(prog) if f.rule_id == rule_id]
+
+
+def ok_map(ctx, buf):
+    return buf
+
+
+def eos_full(ctx):
+    while True:
+        buf = ctx.accept()
+        if buf.is_caboose:
+            ctx.forward(buf)
+            return
+        ctx.convey(buf)
+
+
+def declares(ctx):
+    ctx.convey_caboose(ctx.pipelines[0])
+
+
+def test_rule_catalog_is_complete():
+    assert sorted(RULES) == [f"FG10{i}" for i in range(1, 9)]
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule.severity in (Severity.WARNING, Severity.ERROR)
+
+
+# -- FG101 pool smaller than depth ------------------------------------------
+
+def test_fg101_flags_pool_smaller_than_depth():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map(f"s{i}", ok_map) for i in range(3)],
+                      nbuffers=2, buffer_bytes=8, rounds=1)
+    (f,) = findings_for(prog, "FG101")
+    assert f.severity is Severity.WARNING
+    assert not f.is_error
+    assert f.pipeline == "p"
+
+
+def test_fg101_clean_when_pool_matches_depth():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map(f"s{i}", ok_map) for i in range(3)],
+                      nbuffers=3, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG101")
+
+
+# -- FG102 stage-order cycle -------------------------------------------------
+
+def test_fg102_flags_inconsistent_shared_stage_order():
+    prog = fresh_prog()
+    a = Stage.source_driven("a", eos_full)
+    b = Stage.source_driven("b", eos_full)
+    prog.add_pipeline("p", [a, b], nbuffers=2, buffer_bytes=8, rounds=1)
+    prog.add_pipeline("q", [b, a], nbuffers=2, buffer_bytes=8, rounds=1)
+    (f,) = findings_for(prog, "FG102")
+    assert f.is_error
+    assert "cycle" in f.message
+
+
+def test_fg102_clean_on_consistent_intersection():
+    prog = fresh_prog()
+    a = Stage.source_driven("a", eos_full)
+    b = Stage.source_driven("b", eos_full)
+    prog.add_pipeline("p", [a, b], nbuffers=2, buffer_bytes=8, rounds=1)
+    prog.add_pipeline("q", [a, b], nbuffers=2, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG102")
+
+
+# -- FG103 stage contract ----------------------------------------------------
+
+def test_fg103_flags_unbound_stage_function():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.source_driven("later", None)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    (f,) = findings_for(prog, "FG103")
+    assert "no function bound" in f.message
+
+
+def test_fg103_flags_wrong_arity_for_style():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", lambda ctx: None)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    (f,) = findings_for(prog, "FG103")
+    assert "fn(ctx, buffer)" in f.message
+    assert f.stage == "m"
+
+
+def test_fg103_clean_on_conforming_stages():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map),
+                            Stage.source_driven("f", eos_full)],
+                      nbuffers=2, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG103")
+
+
+# -- FG104 no EOS declarer ---------------------------------------------------
+
+def test_fg104_flags_unterminable_rounds_none_pipeline():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    (f,) = findings_for(prog, "FG104")
+    assert f.is_error
+    assert "convey_caboose" in f.message
+
+
+def test_fg104_clean_when_a_stage_declares_eos():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.source_driven("d", declares),
+                            Stage.map("m", ok_map)],
+                      nbuffers=2, buffer_bytes=8, rounds=None)
+    assert not findings_for(prog, "FG104")
+
+
+def test_fg104_gives_full_control_stages_benefit_of_doubt():
+    # a full-control loop may declare EOS through state the bytecode scan
+    # cannot see; the linter must not claim certainty
+    def opaque(ctx):
+        ctx.accept()
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.source_driven("opaque", opaque)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    assert not findings_for(prog, "FG104")
+
+
+def test_fg104_sees_declaration_through_helper_functions():
+    # the declaration lives in a sibling closure, like fork/join's loops
+    def helper(ctx):
+        ctx.convey_caboose(ctx.pipelines[0])
+
+    def stage_fn(ctx):
+        helper(ctx)
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map),
+                            Stage.source_driven("d", stage_fn)],
+                      nbuffers=2, buffer_bytes=8, rounds=None)
+    assert not findings_for(prog, "FG104")
+
+
+# -- FG105 declarer not first ------------------------------------------------
+
+def test_fg105_flags_stages_blind_to_the_caboose():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("blind", ok_map),
+                            Stage.source_driven("d", declares)],
+                      nbuffers=2, buffer_bytes=8, rounds=None)
+    (f,) = findings_for(prog, "FG105")
+    assert "blind" in f.message
+    assert f.stage == "d"
+
+
+def test_fg105_clean_when_declarer_is_first():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.source_driven("d", declares),
+                            Stage.map("m", ok_map)],
+                      nbuffers=2, buffer_bytes=8, rounds=None)
+    assert not findings_for(prog, "FG105")
+
+
+# -- FG106 zero rounds -------------------------------------------------------
+
+def test_fg106_flags_zero_round_pipeline():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=0)
+    (f,) = findings_for(prog, "FG106")
+    assert f.severity is Severity.WARNING
+
+
+def test_fg106_clean_on_positive_rounds():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG106")
+
+
+# -- FG107 dangling failure hook --------------------------------------------
+
+def test_fg107_flags_noncallable_hook():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    prog.on_pipeline_failure = "not a hook"
+    (f,) = findings_for(prog, "FG107")
+    assert "not a callable" in f.message
+
+
+def test_fg107_flags_wrong_arity_hook():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    prog.on_pipeline_failure = lambda exc: None
+    (f,) = findings_for(prog, "FG107")
+    assert "hook(stage, pipelines, exc)" in f.message
+
+
+def test_fg107_clean_on_conforming_hook():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=1)
+    prog.on_pipeline_failure = lambda stage, pipelines, exc: None
+    assert not findings_for(prog, "FG107")
+
+
+# -- FG108 bounded chain deadlock -------------------------------------------
+
+def shared_pair():
+    return (Stage.source_driven("s", eos_full),
+            Stage.source_driven("t", eos_full))
+
+
+def test_fg108_flags_chain_that_cannot_park_the_pool():
+    prog = fresh_prog()
+    s, t = shared_pair()
+    prog.add_pipeline("p", [s, t], nbuffers=2, buffer_bytes=8,
+                      rounds=1, channel_capacity=0)
+    prog.add_pipeline("q", [s, t], nbuffers=2, buffer_bytes=8, rounds=1)
+    (f,) = findings_for(prog, "FG108")
+    assert f.is_error
+    assert "wait-for" in f.message
+
+
+def test_fg108_clean_when_the_chain_can_absorb_the_pool():
+    prog = fresh_prog()
+    s, t = shared_pair()
+    prog.add_pipeline("p", [s, t], nbuffers=2, buffer_bytes=8,
+                      rounds=1, channel_capacity=2)
+    prog.add_pipeline("q", [s, t], nbuffers=2, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG108")
+
+
+def test_fg108_ignores_unbounded_channels():
+    prog = fresh_prog()
+    s, t = shared_pair()
+    prog.add_pipeline("p", [s, t], nbuffers=4, buffer_bytes=8, rounds=1)
+    prog.add_pipeline("q", [s, t], nbuffers=4, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG108")
+
+
+# -- suppression and the start() gate ---------------------------------------
+
+def test_lint_ignore_parameter_suppresses_rule():
+    prog = fresh_prog(lint_ignore={"FG104"})
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    assert prog.lint() == []
+
+
+def test_env_ignore_suppresses_rule(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT_IGNORE", "fg104, fg105")
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    assert prog.lint() == []
+
+
+def test_start_raises_lint_error_before_spawning_anything():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    with pytest.raises(LintError) as exc_info:
+        prog.start()
+    assert "FG104" in str(exc_info.value)
+    assert prog.lint_findings  # report is kept for inspection
+
+
+def test_warnings_do_not_block_start():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel)
+    prog.add_pipeline("p", [Stage.map(f"s{i}", ok_map) for i in range(3)],
+                      nbuffers=2, buffer_bytes=8, rounds=2)  # FG101 warning
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert any(f.rule_id == "FG101" for f in prog.lint_findings)
+
+
+def test_lint_false_disables_the_gate():
+    prog = fresh_prog(lint=False)
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    prog.start()  # no LintError; the broken pipeline is the user's problem
+    assert prog.lint_findings == []
+
+
+def test_env_kill_switch_disables_the_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "0")
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    prog.start()
+    assert prog.lint_findings == []

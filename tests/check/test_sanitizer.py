@@ -1,0 +1,226 @@
+"""FGSan tests: one program per violation kind, plus clean-run negatives.
+
+The cooperative kernel only switches processes at blocking points, so a
+stage touching a buffer right after conveying it is deterministic: the
+buffer is still in flight when the access happens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import PipelineFailed, ProcessFailed, SanitizerError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import VirtualTimeKernel
+
+
+def run_expect_violation(build, kind):
+    """Run ``build(kernel)``'s program and return the SanitizerError of
+    the expected ``kind`` from the failure chain."""
+    kernel = VirtualTimeKernel()
+    prog = build(kernel)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    failed = exc_info.value.original
+    cause = failed
+    if isinstance(failed, PipelineFailed):
+        cause = failed.failures[0].cause
+    assert isinstance(cause, SanitizerError), cause
+    assert cause.kind == kind
+    return cause
+
+
+def sanitized_prog(kernel, **kwargs):
+    return FGProgram(kernel, name="san", sanitize=True, **kwargs)
+
+
+def test_use_after_convey_is_caught():
+    def build(kernel):
+        prog = sanitized_prog(kernel)
+
+        def bad(ctx):
+            buf = ctx.accept()
+            assert not buf.is_caboose
+            ctx.convey(buf)
+            buf.view(np.uint8)  # the buffer belongs downstream now
+
+        prog.add_pipeline("p", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    err = run_expect_violation(build, "use_after_convey")
+    assert "conveyed" in str(err)
+
+
+def test_double_convey_is_caught():
+    def build(kernel):
+        prog = sanitized_prog(kernel)
+
+        def bad(ctx):
+            buf = ctx.accept()
+            ctx.convey(buf)
+            ctx.convey(buf)
+
+        prog.add_pipeline("p", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    run_expect_violation(build, "double_convey")
+
+
+def test_cross_pipeline_convey_is_caught():
+    def build(kernel):
+        prog = sanitized_prog(kernel)
+        other = prog.add_pipeline(
+            "other", [Stage.map("o", lambda c, b: b)],
+            nbuffers=1, buffer_bytes=8, rounds=1)
+
+        def bad(ctx):
+            ctx.accept()
+            stolen = ctx.program.buffers_of(other)[0]
+            ctx.convey(stolen)  # a buffer of a pipeline this stage is not in
+
+        prog.add_pipeline("mine", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    err = run_expect_violation(build, "cross_pipeline")
+    assert "jump" in str(err)
+
+
+def test_caboose_write_is_caught():
+    def build(kernel):
+        prog = sanitized_prog(kernel)
+
+        def bad(ctx):
+            buf = ctx.accept()
+            while not buf.is_caboose:
+                ctx.convey(buf)
+                buf = ctx.accept()
+            buf.put(np.zeros(1, dtype=np.uint8))  # writing the EOS marker
+
+        prog.add_pipeline("p", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    run_expect_violation(build, "caboose_write")
+
+
+def test_leak_of_a_held_buffer_is_caught_at_teardown():
+    def build(kernel):
+        prog = sanitized_prog(kernel)
+        stash = []
+
+        def hoarder(ctx):
+            while True:
+                buf = ctx.accept()
+                if buf.is_caboose:
+                    ctx.forward(buf)
+                    return
+                if not stash:
+                    stash.append(buf)  # kept forever, never conveyed
+                else:
+                    ctx.convey(buf)
+
+        prog.add_pipeline("p", [Stage.source_driven("hoard", hoarder)],
+                          nbuffers=2, buffer_bytes=8, rounds=3)
+        return prog
+
+    err = run_expect_violation(build, "leak")
+    assert "held by 'hoard'" in str(err)
+
+
+def test_stale_round_reemission_is_caught():
+    # unit-level: the only runtime path to on_emit clears first, so feed
+    # it a buffer whose round survived (what Buffer.clear() now prevents)
+    kernel = VirtualTimeKernel()
+    prog = sanitized_prog(kernel)
+    p = prog.add_pipeline("p", [Stage.map("m", lambda c, b: b)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+    prog._assemble()
+    buf = prog.buffers_of(p)[0]
+    buf.round = 7  # as if clear() had not reset it
+    with pytest.raises(SanitizerError) as exc_info:
+        prog.sanitizer.on_emit(p, buf)
+    assert exc_info.value.kind == "stale_round"
+
+
+def test_violations_are_counted_in_metrics():
+    kernel = VirtualTimeKernel()
+    registry = kernel.enable_metrics()
+
+    def build(k):
+        prog = sanitized_prog(k)
+
+        def bad(ctx):
+            buf = ctx.accept()
+            ctx.convey(buf)
+            ctx.convey(buf)
+
+        prog.add_pipeline("p", [Stage.source_driven("bad", bad)],
+                          nbuffers=1, buffer_bytes=8, rounds=1)
+        return prog
+
+    prog = build(kernel)
+    kernel.spawn(prog.run, name="driver")
+    with pytest.raises(ProcessFailed):
+        kernel.run()
+    assert registry.counter("sanitizer.double_convey").value == 1
+
+
+# -- negatives: the discipline-respecting programs run clean -----------------
+
+def test_clean_pipeline_has_no_findings():
+    kernel = VirtualTimeKernel()
+    prog = sanitized_prog(kernel)
+    seen = []
+
+    def fill(ctx, buf):
+        buf.put(np.full(4, buf.round % 251, dtype=np.uint8))
+        return buf
+
+    def check(ctx, buf):
+        seen.append(int(buf.view(np.uint8)[0]))
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("fill", fill),
+                            Stage.map("check", check)],
+                      nbuffers=3, buffer_bytes=16, rounds=20)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()  # no SanitizerError, teardown check included
+    assert seen == [i % 251 for i in range(20)]
+
+
+def test_map_stage_dropping_a_buffer_is_not_a_leak():
+    kernel = VirtualTimeKernel()
+    prog = sanitized_prog(kernel)
+    survivors = []
+
+    def maybe_drop(ctx, buf):
+        if buf.round == 0:
+            return None  # legitimate pool shrink
+        return buf
+
+    def note(ctx, buf):
+        survivors.append(buf.round)
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("drop", maybe_drop),
+                            Stage.map("note", note)],
+                      nbuffers=2, buffer_bytes=8, rounds=4)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert survivors == [1, 2, 3]
+
+
+def test_dsort_suite_is_sanitize_clean(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from tests.sorting.test_dsort import run_dsort_case
+    run_dsort_case(n_nodes=2, n_per_node=1000)
+
+
+def test_csort_suite_is_sanitize_clean(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from tests.sorting.test_csort import run_csort_case
+    run_csort_case(n_nodes=2, n_per_node=1024)

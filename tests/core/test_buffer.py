@@ -63,6 +63,15 @@ def test_clear_resets_size_and_tags():
     assert buf.tags == {}
 
 
+def test_clear_resets_round():
+    """A recycled buffer must not carry its previous round back to the
+    source; stale rounds are what FGSan's stale_round check hunts."""
+    buf = Buffer(make_pipeline(), 0, 64)
+    buf.round = 17
+    buf.clear()
+    assert buf.round == -1
+
+
 def test_aux_allocated_on_request():
     buf = Buffer(make_pipeline(), 0, 64, with_aux=True)
     assert buf.aux is not None

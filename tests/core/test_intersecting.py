@@ -64,15 +64,15 @@ def build_merge_program(kernel, runs, out_capacity_values=4):
                 exhausted.add(i)
             else:
                 heads[i] = (buf, 0)
-        out = ctx.accept(horizontal)
         out_vals = []
 
         def flush():
-            nonlocal out
+            # accept the output buffer lazily so none is left held when
+            # the runs exhaust right after a flush
+            out = ctx.accept(horizontal)
             out.put(np.asarray(out_vals, dtype="<i8"))
             ctx.convey(out)
             out_vals.clear()
-            out = ctx.accept(horizontal)
 
         while heads:
             i = min(heads, key=lambda k: heads[k][0].view("<i8")[heads[k][1]])
@@ -93,8 +93,7 @@ def build_merge_program(kernel, runs, out_capacity_values=4):
             else:
                 heads[i] = (buf, pos)
         if out_vals:
-            out.put(np.asarray(out_vals, dtype="<i8"))
-            ctx.convey(out)
+            flush()
         ctx.convey_caboose(horizontal)
 
     merge_stage.fn = merge
