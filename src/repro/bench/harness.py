@@ -119,12 +119,31 @@ class SortRun:
         return self.record_bytes * self.n_per_node * self.n_nodes
 
 
+def _apply_tune(config, tune: Optional[dict]):
+    """Override config fields from a tuner-chosen dict (see run_sort)."""
+    if not tune:
+        return config
+    known = {f.name for f in dataclasses.fields(config)}
+    unknown = sorted(set(tune) - known)
+    if unknown:
+        raise ReproError(
+            f"unknown tune field(s) {unknown} for "
+            f"{type(config).__name__}; tunable fields: {sorted(known)}")
+    overrides = dict(tune)
+    if (isinstance(config, DsortConfig) and "block_records" in overrides
+            and "vertical_block_records" not in overrides):
+        overrides["vertical_block_records"] = max(
+            1, overrides["block_records"] // 2)
+    return dataclasses.replace(config, **overrides)
+
+
 def run_sort(sorter: str, distribution: str, schema: RecordSchema,
              n_nodes: int = PAPER_NODES,
              n_per_node: int = BENCH_RECORDS_16B,
              hardware: Optional[HardwareModel] = None,
              block_records: Optional[int] = None,
-             seed: int = 0, observe: bool = False) -> SortRun:
+             seed: int = 0, observe: bool = False,
+             tune: Optional[dict] = None) -> SortRun:
     """Run one sorting experiment end to end and verify its output.
 
     ``observe=True`` attaches the execution tracer and a metrics registry
@@ -132,6 +151,15 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
     (``.tracer`` / ``.metrics``) so callers can export a Chrome trace,
     dump a metrics snapshot, or run a bottleneck analysis — this is how
     the benchmark suite emits its trace artifacts.
+
+    ``tune`` overrides fields of the sorter's default config by name
+    (e.g. ``{"nbuffers": 6, "sort_replicas": 2}`` for either sorter,
+    ``{"block_records": 2048}`` for dsort, ``{"s_override": 8}`` for
+    csort) — the hook through which ``repro.tune`` applies a candidate
+    configuration.  A dsort ``block_records`` override also rescales
+    ``vertical_block_records`` to the default half-block unless that is
+    overridden too; unknown field names raise, so tuners cannot silently
+    search a no-op axis.
     """
     hardware = hardware if hardware is not None else benchmark_hardware()
     n_total = n_nodes * n_per_node
@@ -147,8 +175,8 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
     imbalance: Optional[float] = None
 
     if sorter in ("dsort", "dsort-linear"):
-        config = default_dsort_config(n_total, n_nodes,
-                                      block_records=block_records)
+        config = _apply_tune(default_dsort_config(
+            n_total, n_nodes, block_records=block_records), tune)
         main = run_dsort if sorter == "dsort" else run_dsort_linear
         reports = cluster.run(main, schema, config)
         rep = reports[0]
@@ -160,7 +188,7 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
         out_block = config.out_block_records
         output_file = config.output_file
     elif sorter == "csort":
-        config = default_csort_config(n_total, n_nodes)
+        config = _apply_tune(default_csort_config(n_total, n_nodes), tune)
         reports = cluster.run(run_csort, schema, config)
         rep = reports[0]
         phases = {"pass1": rep.pass1_time,
@@ -169,7 +197,7 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
         out_block = config.out_block_records
         output_file = config.output_file
     elif sorter == "csort4":
-        config = default_csort_config(n_total, n_nodes)
+        config = _apply_tune(default_csort_config(n_total, n_nodes), tune)
         reports = cluster.run(run_csort4, schema, config)
         rep = reports[0]
         phases = {f"pass{i + 1}": t
@@ -177,8 +205,8 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
         out_block = config.out_block_records
         output_file = config.output_file
     elif sorter == "nowsort":
-        config = default_dsort_config(n_total, n_nodes,
-                                      block_records=block_records)
+        config = _apply_tune(default_dsort_config(
+            n_total, n_nodes, block_records=block_records), tune)
         reports = cluster.run(run_nowsort, schema, config)
         rep = reports[0]
         phases = {"pass1": rep.pass1_time, "pass2": rep.pass2_time}

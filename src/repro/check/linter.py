@@ -25,6 +25,9 @@ FG107     error     dangling ``on_pipeline_failure`` hook (not callable,
                     or wrong arity)
 FG108     error     bounded channel chain provably deadlock-prone
                     (wait-for-graph analysis over intersecting stages)
+FG109     error     replicated stage carries per-round mutable state
+                    (closure/global/attribute-write heuristic over the
+                    stage function's bytecode)
 ========  ========  =====================================================
 
 Suppress individual rules per program with
@@ -34,6 +37,8 @@ Suppress individual rules per program with
 
 from __future__ import annotations
 
+import builtins
+import dis
 import inspect
 import os
 import types
@@ -82,6 +87,10 @@ RULES: dict[str, Rule] = {r.rule_id: r for r in [
          "a bounded channel chain between stages shared with another "
          "pipeline can absorb the whole buffer pool; the wait-for "
          "graph closes a cycle"),
+    Rule("FG109", "replicated-stage-state", Severity.ERROR,
+         "a replicated stage mutates state shared across its copies "
+         "(closure or global writes); interchangeable replicas would "
+         "race on it and the per-round results become order-dependent"),
 ]}
 
 
@@ -365,6 +374,147 @@ def _check_bounded_chains(prog: "FGProgram") -> Iterator[Finding]:
                         program=prog.name, pipeline=p.name, stage=s.name)
 
 
+#: method names whose call on a shared container is treated as mutation.
+#: Deliberately omits ambiguous names (``sort``, ``write``, ``reverse``)
+#: that are common as *pure* methods on schema/file objects.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "setdefault", "remove", "discard", "clear",
+})
+
+#: opcodes that pass the provenance of the value under construction
+#: through unchanged (subscripts, arithmetic, stack shuffling).
+_TRANSPARENT_OPS = frozenset({
+    "LOAD_CONST", "BINARY_SUBSCR", "BINARY_SLICE", "BINARY_OP",
+    "UNARY_NEGATIVE", "UNARY_NOT", "UNARY_INVERT",
+    "COPY", "SWAP", "DUP_TOP", "DUP_TOP_TWO",
+    "ROT_TWO", "ROT_THREE", "ROT_FOUR", "CACHE", "EXTENDED_ARG",
+})
+
+#: values of these types cannot hold cross-replica mutable state (for
+#: the method-call branch; *rebinding* them is still flagged).
+_IMMUTABLE_TYPES = (type(None), bool, int, float, complex, str, bytes,
+                    tuple, frozenset, types.FunctionType,
+                    types.BuiltinFunctionType, types.ModuleType, type)
+
+_UNKNOWN = object()
+
+
+def _closure_value(fn: Callable[..., Any], name: str) -> Any:
+    """The object a free variable of ``fn`` is bound to, or _UNKNOWN."""
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is None or closure is None:
+        return _UNKNOWN
+    try:
+        return closure[code.co_freevars.index(name)].cell_contents
+    except (ValueError, IndexError):
+        return _UNKNOWN
+
+
+def _shared_state_evidence(fn: Callable[..., Any]) -> list[str]:
+    """Evidence strings that ``fn`` mutates state its replicas share.
+
+    A linear bytecode walk tracking coarse provenance of the object under
+    construction: a load from a free variable or a module global marks it
+    *shared*, a load from a local marks it *private*, and subscript /
+    attribute / stack ops preserve the mark.  Mutation evidence is then
+
+    * a mutating method (``append``, ``update``, ...) looked up on a
+      shared object,
+    * ``STORE_SUBSCR`` / ``STORE_ATTR`` whose target is shared,
+    * rebinding a free variable (``STORE_DEREF``) or a global.
+
+    Heuristic by design: it follows only straight-line provenance, so
+    aliasing through locals escapes it — but that is exactly the
+    contract FG109 documents (it catches the idiomatic per-round
+    accumulator, not adversarial code).
+    """
+    globals_ns = getattr(inspect.unwrap(fn), "__globals__", {})
+    evidence: list[str] = []
+
+    def shared_global(name: str) -> bool:
+        value = globals_ns.get(name, getattr(builtins, name, _UNKNOWN))
+        if value is _UNKNOWN:
+            return False
+        return not isinstance(value, _IMMUTABLE_TYPES)
+
+    def shared_free(name: str) -> bool:
+        value = _closure_value(fn, name)
+        if value is _UNKNOWN:
+            return True  # unresolvable cell: assume shared
+        return not isinstance(value, _IMMUTABLE_TYPES)
+
+    for code in _iter_code_objects(fn):
+        base_shared = False
+        base_name = ""
+        for instr in dis.get_instructions(code):
+            op = instr.opname
+            if op in ("LOAD_DEREF", "LOAD_CLASSDEREF"):
+                base_name = str(instr.argval)
+                base_shared = (base_name in code.co_freevars
+                               and shared_free(base_name))
+            elif op == "LOAD_GLOBAL":
+                base_name = str(instr.argval)
+                base_shared = shared_global(base_name)
+            elif op in ("LOAD_METHOD", "LOAD_ATTR"):
+                if base_shared and instr.argval in _MUTATING_METHODS:
+                    evidence.append(
+                        f"calls .{instr.argval}() on shared "
+                        f"{base_name!r}")
+                    base_shared = False
+            elif op == "STORE_SUBSCR":
+                if base_shared:
+                    evidence.append(
+                        f"assigns into shared {base_name!r}")
+                base_shared = False
+            elif op == "STORE_ATTR":
+                if base_shared:
+                    evidence.append(
+                        f"sets .{instr.argval} on shared {base_name!r}")
+                base_shared = False
+            elif op == "STORE_DEREF":
+                if instr.argval in code.co_freevars:
+                    evidence.append(
+                        f"rebinds closure variable {instr.argval!r}")
+                base_shared = False
+            elif op == "STORE_GLOBAL":
+                evidence.append(f"rebinds global {instr.argval!r}")
+                base_shared = False
+            elif op.startswith("LOAD_FAST"):
+                base_shared = False
+                base_name = str(instr.argval)
+            elif op not in _TRANSPARENT_OPS:
+                base_shared = False
+    return evidence
+
+
+def _check_replicated_state(prog: "FGProgram") -> Iterator[Finding]:
+    for p in prog.pipelines:
+        for s in p.stages:
+            if not p.is_replicated(s) or s.fn is None:
+                continue
+            evidence = _shared_state_evidence(s.fn)
+            if any(n in ("convey", "convey_caboose")
+                   for code in _iter_code_objects(s.fn)
+                   for n in code.co_names):
+                evidence.append(
+                    "references convey (the replica sequencer owns "
+                    "conveyance; replicated stages must only return "
+                    "the buffer)")
+            if evidence:
+                listed = "; ".join(evidence[:3])
+                if len(evidence) > 3:
+                    listed += f"; and {len(evidence) - 3} more"
+                yield Finding(
+                    "FG109", Severity.ERROR,
+                    f"stage {s.name!r} is declared with replicas but "
+                    f"carries per-round mutable state: {listed}. "
+                    "Interchangeable copies would race on it; keep the "
+                    "stage single or move the state into buffer tags",
+                    program=prog.name, pipeline=p.name, stage=s.name)
+
+
 _CHECKS = (
     _check_pool_depth,
     _check_stage_order_cycle,
@@ -373,6 +523,7 @@ _CHECKS = (
     _check_zero_rounds,
     _check_failure_hook,
     _check_bounded_chains,
+    _check_replicated_state,
 )
 
 

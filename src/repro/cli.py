@@ -123,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--strict", action="store_true",
                         help="exit nonzero on warnings too")
 
+    p_tune = sub.add_parser(
+        "tune", help="auto-tune a sorting benchmark: offline search "
+                     "(hill/grid) or run-by-run adaptive feedback")
+    p_tune.add_argument("--sorter", default="dsort",
+                        choices=["dsort", "csort"])
+    p_tune.add_argument("--method", default="hill",
+                        choices=["hill", "grid", "adaptive"])
+    p_tune.add_argument("--distribution", default="uniform")
+    p_tune.add_argument("--nodes", type=int, default=4)
+    p_tune.add_argument("--records-per-node", type=int, default=4096)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--out", metavar="PATH",
+                        help="write the result (best config, baseline, "
+                             "trial log) as JSON")
+
     p_an = sub.add_parser(
         "analyze",
         help="run the quickstart pipeline (or dsort) with full "
@@ -339,8 +354,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"{title}: {kernel.now() * 1e3:.2f} ms simulated\n")
     report = analyze_bottleneck(tracer, processes=stage_rows)
     print(report.render())
+    _print_wait_profiles(kernel)
     _write_artifacts(args, tracer, kernel, processes=None)
     return 0
+
+
+def _print_wait_profiles(kernel) -> None:
+    """Per-stage queue-wait time series for every instrumented program
+    on node 0 (multi-node workloads assemble one program per rank; rank
+    0 is representative and keeps the report readable)."""
+    from repro.obs import (
+        instrumented_programs,
+        render_stage_series,
+        stage_series,
+    )
+
+    programs = instrumented_programs(kernel.metrics)
+    node0 = [p for p in programs if "@" not in p or "@0" in p]
+    for program in node0 or programs:
+        series = stage_series(kernel.metrics, program, bins=24)
+        if not series:
+            continue
+        print(f"\n{program} — when each stage waited for input:")
+        print(render_stage_series(series))
 
 
 def _run_quickstart_workload(kernel, args) -> list:
@@ -462,6 +498,41 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.tune import adaptive_tune_sort, tune_sort
+
+    common = dict(distribution=args.distribution, n_nodes=args.nodes,
+                  n_per_node=args.records_per_node, seed=args.seed)
+    if args.method == "adaptive":
+        result = adaptive_tune_sort(args.sorter, **common)
+    else:
+        result = tune_sort(args.sorter, method=args.method, **common)
+    doc = result.to_json()
+
+    print(f"{args.sorter} on {args.distribution}, {args.nodes} nodes x "
+          f"{args.records_per_node} records ({doc['method']} search, "
+          f"{doc['evaluations']} evaluated runs):")
+    trials = doc.get("trials") or [
+        {"config": h["config"], "score": h["score"]}
+        for h in doc.get("history", [])]
+    for t in trials:
+        knobs = " ".join(f"{k}={v}" for k, v in t["config"].items())
+        print(f"  {t['score'] * 1e3:9.3f} ms  {knobs}")
+    print(f"baseline: {doc['baseline_score'] * 1e3:.3f} ms  "
+          + " ".join(f"{k}={v}" for k, v in doc["baseline"].items()))
+    print(f"best:     {doc['best_score'] * 1e3:.3f} ms  "
+          + " ".join(f"{k}={v}" for k, v in doc["best"].items()))
+    print(f"improvement: {doc['improvement']:.1%}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.check.runner import lint_paths
 
@@ -477,6 +548,7 @@ _COMMANDS = {
     "overlap": _cmd_overlap,
     "distributions": _cmd_distributions,
     "trace": _cmd_trace,
+    "tune": _cmd_tune,
     "analyze": _cmd_analyze,
     "apps": _cmd_apps,
 }

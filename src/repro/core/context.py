@@ -33,6 +33,11 @@ class StageContext:
         #: pipelines containing this stage, in registration order
         self.pipelines = pipelines
         self.kernel = program.kernel
+        #: replica index when this context belongs to one copy of a
+        #: replicated stage (None for ordinary stages); the copies are
+        #: interchangeable, so stage functions should only need this
+        #: for diagnostics
+        self.replica: Optional[int] = None
 
     # -- environment -------------------------------------------------------
 

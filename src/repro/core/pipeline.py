@@ -15,11 +15,21 @@ pipeline description could be assembled repeatedly (one per pass).
   :meth:`~repro.core.context.StageContext.convey_caboose` (dsort's receive
   pipelines, whose length depends on what other nodes send).  The sink
   then tells the source to stop.
+
+``replicas`` declares **replicated stages** (the ``repro.tune``
+mechanism): mapping a stage name to N >= 1 makes the program run N
+interchangeable copies of that stage, all consuming from the shared
+inbound channel, with a sequencer process restoring buffer order
+downstream.  Declaring a stage with ``replicas={'sort': 1}`` wires the
+sequencer without extra copies, which lets a
+:class:`~repro.tune.controller.TuneController` add replicas at runtime.
+Replicated stages must be map-style, non-virtual, single-pipeline, and
+stateless across rounds (lint rule FG109 checks the last point).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core.stage import Stage
 from repro.errors import PipelineStructureError
@@ -34,7 +44,8 @@ class Pipeline:
                  nbuffers: int, buffer_bytes: int,
                  rounds: Optional[int] = None,
                  aux_buffers: bool = False,
-                 channel_capacity: Optional[int] = None) -> None:
+                 channel_capacity: Optional[int] = None,
+                 replicas: Optional[Mapping[str, int]] = None) -> None:
         if not stages:
             raise PipelineStructureError(
                 f"pipeline {name!r} needs at least one stage")
@@ -53,6 +64,17 @@ class Pipeline:
             raise PipelineStructureError(
                 f"pipeline {name!r}: channel_capacity must be None or "
                 f">= 0, got {channel_capacity}")
+        if channel_capacity == 0 and rounds is None:
+            # capacity-0 channels are pure rendezvous: the source's first
+            # put blocks until the first stage gets, but a rounds=None
+            # source also needs the recycle round-trip to learn about
+            # EOS — the two block on each other before any data flows.
+            raise PipelineStructureError(
+                f"pipeline {name!r}: channel_capacity=0 (rendezvous) "
+                "cannot be combined with rounds=None; the unknown-length "
+                "recycling protocol deadlocks before the first buffer is "
+                "delivered.  Give the channels capacity >= 1 or declare "
+                "rounds")
         seen = set()
         for stage in stages:
             if id(stage) in seen:
@@ -60,6 +82,28 @@ class Pipeline:
                     f"stage {stage.name!r} appears twice in pipeline "
                     f"{name!r}")
             seen.add(id(stage))
+        by_name = {s.name: s for s in stages}
+        self.replicas: dict[str, int] = {}
+        for sname, count in (replicas or {}).items():
+            stage = by_name.get(sname)
+            if stage is None:
+                raise PipelineStructureError(
+                    f"pipeline {name!r}: replicas names unknown stage "
+                    f"{sname!r}")
+            if count < 1:
+                raise PipelineStructureError(
+                    f"pipeline {name!r}: replicas for stage {sname!r} "
+                    f"must be >= 1, got {count}")
+            if stage.style != "map":
+                raise PipelineStructureError(
+                    f"pipeline {name!r}: replicated stage {sname!r} must "
+                    "be map-style (the replica loop owns accept/convey)")
+            if stage.virtual:
+                raise PipelineStructureError(
+                    f"pipeline {name!r}: virtual stage {sname!r} cannot "
+                    "be replicated (it already shares a thread with its "
+                    "group)")
+            self.replicas[sname] = count
         self.name = name
         self.stages: list[Stage] = list(stages)
         self.nbuffers = nbuffers
@@ -71,6 +115,15 @@ class Pipeline:
         #: for memory determinism; the FG108 lint rule proves when a
         #: bound combined with intersecting stages is deadlock-prone.
         self.channel_capacity = channel_capacity
+
+    def replica_count(self, stage: Stage) -> int:
+        """Declared replica count for ``stage`` (1 when not replicated)."""
+        return self.replicas.get(stage.name, 1)
+
+    def is_replicated(self, stage: Stage) -> bool:
+        """True when ``stage`` was declared in ``replicas`` (even with
+        count 1, which wires the sequencer for runtime growth)."""
+        return stage.name in self.replicas
 
     def position_of(self, stage: Stage) -> int:
         """Index of ``stage`` within this pipeline (0-based)."""

@@ -27,12 +27,34 @@ Typical use, inside a per-node SPMD main::
     prog.add_pipeline("work", [read, sort, write],
                       nbuffers=4, buffer_bytes=1 << 20, rounds=16)
     prog.run()
+
+Two runtime mechanisms back the ``repro.tune`` subsystem:
+
+* **stage replication** — a stage declared in a pipeline's ``replicas``
+  mapping runs as N interchangeable copies consuming from the shared
+  inbound channel; every accepted buffer takes a monotonically increasing
+  *ticket*, and a synthetic sequencer process restores ticket order
+  before the successor stage, so downstream observes exactly the
+  single-copy order.  The caboose terminates replicas by a live-counter
+  relay: each replica that sees it decrements the live count and re-puts
+  it for its siblings; the last one forwards it to the sequencer (all
+  data tickets are already in the reorder channel by then, because each
+  replica conveys its buffer before it can accept the caboose).
+  :meth:`FGProgram.add_replica` grows a replica set mid-run.
+
+* **dynamic buffer pools** — :meth:`FGProgram.add_buffers` materializes
+  and circulates extra buffers while the program runs (the recycle
+  channel is unbounded, so this never blocks);
+  :meth:`FGProgram.retire_buffers` asks the source to take buffers out
+  of circulation as they come back around.  Both are sanitizer-aware:
+  grown buffers are tracked from birth, retired buffers move to a
+  terminal RETIRED state that flags any later use.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.check.sanitizer import Sanitizer, sanitize_from_env
 from repro.core.buffer import Buffer
@@ -45,13 +67,68 @@ from repro.errors import (
     LintError,
     PipelineFailed,
     PipelineStructureError,
+    StageError,
     StageFailure,
 )
 from repro.obs.observer import ProgramObserver
 from repro.sim.channel import Channel
 from repro.sim.kernel import Kernel, Process
 
-__all__ = ["FGProgram"]
+__all__ = ["FGProgram", "ReplicaSet"]
+
+
+class _Skip:
+    """Reorder-channel token: a replica dropped the buffer of ``ticket``
+    (its map function returned None), so the sequencer must not wait for
+    that ticket."""
+
+    __slots__ = ("ticket",)
+
+    def __init__(self, ticket: int) -> None:
+        self.ticket = ticket
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Skip #{self.ticket}>"
+
+
+class _Seq:
+    """Reorder-channel envelope: ``buffer`` was accepted as ``ticket``."""
+
+    __slots__ = ("ticket", "buffer")
+
+    def __init__(self, ticket: int, buffer: Buffer) -> None:
+        self.ticket = ticket
+        self.buffer = buffer
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Seq #{self.ticket} {self.buffer!r}>"
+
+
+class ReplicaSet:
+    """Runtime state of one replicated stage (shared by its replicas).
+
+    All counters are mutated between blocking points only, which the
+    cooperative kernels make atomic.
+    """
+
+    def __init__(self, pipeline: Pipeline, stage: Stage,
+                 seq_stage: Stage, reorder: Channel) -> None:
+        self.pipeline = pipeline
+        self.stage = stage
+        #: synthetic sequencer stage (not part of the pipeline's stages)
+        self.seq_stage = seq_stage
+        #: replicas -> sequencer channel ((ticket, buffer) envelopes)
+        self.reorder = reorder
+        #: replicas currently accepting (the caboose relay counts this down)
+        self.live = 0
+        #: total replicas ever spawned (names the next replica process)
+        self.total = 0
+        #: next acceptance ticket (assigned without blocking after get())
+        self.next_ticket = 0
+        #: set once the caboose reached the sequencer; add_replica refuses
+        self.finished = False
+        #: per-replica contexts, indexed by replica number
+        self.contexts: list[StageContext] = []
 
 
 class FGProgram:
@@ -104,6 +181,12 @@ class FGProgram:
         self._contexts: dict[int, StageContext] = {}
         self._stage_eos: set[tuple[int, int]] = set()
         self._buffers: dict[int, list[Buffer]] = {}
+        #: replica sets keyed by (id(pipeline), id(stage))
+        self._replica_sets: dict[tuple[int, int], ReplicaSet] = {}
+        #: buffers the source still has to take out of circulation
+        self._retire_pending: dict[int, int] = {}
+        #: next buffer index per pipeline (dynamic pool growth)
+        self._next_buf_index: dict[int, int] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -111,13 +194,17 @@ class FGProgram:
                      nbuffers: int, buffer_bytes: int,
                      rounds: Optional[int] = None,
                      aux_buffers: bool = False,
-                     channel_capacity: Optional[int] = None) -> Pipeline:
+                     channel_capacity: Optional[int] = None,
+                     replicas: Optional[Mapping[str, int]] = None
+                     ) -> Pipeline:
         """Describe a pipeline; FG adds the source and sink itself.
 
         ``channel_capacity`` bounds every inter-stage queue of this
         pipeline (None keeps the historical unbounded queues); the sink
         and recycle channels stay unbounded so the recycling protocol
-        never wedges.
+        never wedges.  ``replicas`` maps stage names to replica counts
+        (see the module docstring; count 1 still wires the sequencer so
+        :meth:`add_replica` can grow the set at runtime).
         """
         if self._started:
             raise PipelineStructureError(
@@ -125,7 +212,8 @@ class FGProgram:
         pipeline = Pipeline(name, stages, nbuffers=nbuffers,
                             buffer_bytes=buffer_bytes, rounds=rounds,
                             aux_buffers=aux_buffers,
-                            channel_capacity=channel_capacity)
+                            channel_capacity=channel_capacity,
+                            replicas=replicas)
         self.pipelines.append(pipeline)
         return pipeline
 
@@ -136,7 +224,19 @@ class FGProgram:
         return self._in_q[(id(pipeline), id(stage))]
 
     def out_queue(self, pipeline: Pipeline, stage: Stage) -> Channel:
-        """The queue ``stage`` conveys into within ``pipeline``."""
+        """The queue ``stage`` conveys into within ``pipeline``.
+
+        For a replicated stage this is the reorder channel feeding its
+        sequencer; only the sequencer itself conveys into the true
+        successor (see :meth:`_successor_queue`).
+        """
+        rset = self._replica_sets.get((id(pipeline), id(stage)))
+        if rset is not None:
+            return rset.reorder
+        return self._successor_queue(pipeline, stage)
+
+    def _successor_queue(self, pipeline: Pipeline, stage: Stage) -> Channel:
+        """The queue of the stage after ``stage`` (or the sink queue)."""
         pos = pipeline.position_of(stage)
         if pos + 1 < len(pipeline.stages):
             nxt = pipeline.stages[pos + 1]
@@ -272,9 +372,23 @@ class FGProgram:
             pool = [Buffer(p, i, p.buffer_bytes, with_aux=p.aux_buffers)
                     for i in range(p.nbuffers)]
             self._buffers[id(p)] = pool
+            self._next_buf_index[id(p)] = p.nbuffers
             # Recycle channels are unbounded, so pre-filling never blocks.
             for buf in pool:
                 self._recycle[id(p)].put(buf)
+            # replica sets: reorder channel + synthetic sequencer stage
+            for s in p.stages:
+                if not p.is_replicated(s):
+                    continue
+                seq_stage = Stage(f"{s.name}~seq", None, style="full")
+                reorder = Channel(
+                    self.kernel,
+                    name=f"{self.name}.{p.name}.{s.name}~reorder")
+                reorder.owner = f"{self.name}.{p.name}"
+                rset = ReplicaSet(p, s, seq_stage, reorder)
+                self._replica_sets[(id(p), id(s))] = rset
+                for _ in range(p.replica_count(s)):
+                    self._new_replica_context(rset)
         # contexts for non-virtual stages
         for stage in self._unique_stages():
             if stage.virtual:
@@ -294,6 +408,22 @@ class FGProgram:
         if stage.virtual:
             return f"{self.name}.vgroup[{stage.virtual_group}]"
         return f"{self.name}.{stage.name}"
+
+    def _replica_name(self, rset: ReplicaSet, idx: int) -> str:
+        return f"{self.name}.{rset.stage.name}[r{idx}]"
+
+    def _seq_name(self, rset: ReplicaSet) -> str:
+        return f"{self.name}.{rset.stage.name}~seq"
+
+    def _new_replica_context(self, rset: ReplicaSet) -> int:
+        """Allocate the context (and index) for one more replica."""
+        idx = rset.total
+        rset.total += 1
+        rset.live += 1
+        ctx = StageContext(self, rset.stage, [rset.pipeline])
+        ctx.replica = idx
+        rset.contexts.append(ctx)
+        return idx
 
     def _register_waitfor_labels(self) -> None:
         """Tell every channel which process names produce into and
@@ -320,8 +450,17 @@ class FGProgram:
             for s in p.stages:
                 queue = self._in_q[(id(p), id(s))]
                 queue.producers.add(producer)
-                queue.consumers.add(self._spawn_name(s))
-                producer = self._spawn_name(s)
+                rset = self._replica_sets.get((id(p), id(s)))
+                if rset is None:
+                    queue.consumers.add(self._spawn_name(s))
+                    producer = self._spawn_name(s)
+                else:
+                    for idx in range(rset.total):
+                        name = self._replica_name(rset, idx)
+                        queue.consumers.add(name)
+                        rset.reorder.producers.add(name)
+                    rset.reorder.consumers.add(self._seq_name(rset))
+                    producer = self._seq_name(rset)
             self._sink_q[id(p)].producers.add(producer)
 
     # -- graceful teardown --------------------------------------------------------------
@@ -361,6 +500,20 @@ class FGProgram:
 
     # -- runner loops -------------------------------------------------------------------
 
+    def _maybe_retire(self, p: Pipeline, buf: Buffer) -> bool:
+        """Source-side half of :meth:`retire_buffers`: take ``buf`` out
+        of circulation if a retirement is pending.  Returns True when the
+        buffer was retired (the source must not emit it)."""
+        pending = self._retire_pending.get(id(p), 0)
+        if not pending:
+            return False
+        self._retire_pending[id(p)] = pending - 1
+        p.nbuffers -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_retire(p, buf)
+        self.observer.pool_resized(p, -1, p.nbuffers)
+        return True
+
     def _run_source(self, p: Pipeline) -> None:
         recycle = self._recycle[id(p)]
         first = self._in_q[(id(p), id(p.stages[0]))]
@@ -370,6 +523,8 @@ class FGProgram:
             if isinstance(item, Stop):
                 self._flush_poisoned_source(p)
                 return
+            if self._maybe_retire(p, item):
+                continue
             item.clear()
             if self.sanitizer is not None:
                 self.sanitizer.on_emit(p, item)
@@ -411,6 +566,8 @@ class FGProgram:
             pid = id(p)
             if pid not in pending:
                 continue  # stale buffer of an already-finished pipeline
+            if self._maybe_retire(p, item):
+                continue
             item.clear()
             if self.sanitizer is not None:
                 self.sanitizer.on_emit(p, item)
@@ -457,6 +614,124 @@ class FGProgram:
                     self.sanitizer.on_drop(stage, buf)
         finally:
             self.observer.stage_finished(stage)
+
+    def _run_replica(self, rset: ReplicaSet, idx: int) -> None:
+        """One copy of a replicated stage: a map loop that tickets every
+        acceptance and hands the result to the sequencer.
+
+        The ticket is taken with no blocking point between the channel
+        get and the increment, so ticket order equals delivery order —
+        exactly the order a single copy would have processed the buffers.
+        """
+        stage, p = rset.stage, rset.pipeline
+        ctx = rset.contexts[idx]
+        in_q = self._in_q[(id(p), id(stage))]
+        reorder = rset.reorder
+        self.observer.stage_started(stage)
+        try:
+            while True:
+                t0 = self.kernel.now()
+                buf = in_q.get()
+                wait = self.kernel.now() - t0
+                if buf.is_caboose:
+                    # caboose relay: every sibling must see it once; the
+                    # last live replica forwards it to the sequencer (all
+                    # data envelopes are already in the reorder channel,
+                    # since each sibling conveyed before re-accepting)
+                    rset.live -= 1
+                    if rset.live > 0:
+                        in_q.put(buf)
+                    else:
+                        reorder.put(buf)
+                    return
+                ticket = rset.next_ticket
+                rset.next_ticket += 1
+                self.observer.accepted(stage, wait)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_accept(stage, p, buf)
+                try:
+                    out = stage.fn(ctx, buf)
+                except KernelShutdown:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - poison
+                    self._stage_failed(stage, [p], exc)
+                    rset.live -= 1
+                    return
+                if out is None:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_drop(stage, buf)
+                    reorder.put(_Skip(ticket))
+                else:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_convey(stage, out)
+                    reorder.put(_Seq(ticket, out))
+                    self.observer.conveyed(stage, out)
+        finally:
+            self.observer.stage_finished(stage)
+
+    def _run_sequencer(self, rset: ReplicaSet) -> None:
+        """Restore ticket order downstream of a replica set.
+
+        Envelopes arrive in completion order; the sequencer holds
+        out-of-order ones (at most pool-size many) and releases
+        consecutive tickets to the true successor queue.  A caboose ends
+        the set: any still-held envelopes are flushed in ticket order
+        first, so a poisoned teardown cannot strand buffers here.
+        """
+        stage, p = rset.stage, rset.pipeline
+        seq = rset.seq_stage
+        out_q = self._successor_queue(p, stage)
+        reorder = rset.reorder
+        self.observer.stage_started(seq)
+        try:
+            next_ticket = 0
+            held: dict[int, Optional[Buffer]] = {}  # None = skipped
+
+            def release(entry: Optional[Buffer]) -> None:
+                if entry is None:
+                    return
+                if self.sanitizer is not None:
+                    self.sanitizer.on_convey(seq, entry)
+                out_q.put(entry)
+                self.observer.conveyed(seq, entry)
+
+            while True:
+                t0 = self.kernel.now()
+                item = reorder.get()
+                wait = self.kernel.now() - t0
+                if isinstance(item, Buffer):
+                    if not item.is_caboose:
+                        raise StageError(
+                            f"sequencer of {stage.name!r} received a raw "
+                            f"data buffer {item!r}; replicated stages "
+                            "must not convey manually (FG109)")
+                    for ticket in sorted(held):
+                        release(held[ticket])
+                    held.clear()
+                    rset.finished = True
+                    out_q.put(item)
+                    return
+                self.observer.accepted(seq, wait)
+                if isinstance(item, _Skip):
+                    held[item.ticket] = None
+                else:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_accept(seq, p, item.buffer)
+                    held[item.ticket] = item.buffer
+                while next_ticket in held:
+                    release(held.pop(next_ticket))
+                    next_ticket += 1
+        except KernelShutdown:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - poison, not abort
+            rset.finished = True
+            self._failures.append(
+                StageFailure(p.name, seq.name, exc))
+            self._poisoned.add(id(p))
+            self.observer.poisoned(p)
+            out_q.put(Buffer.caboose(p, self.sanitizer))
+        finally:
+            self.observer.stage_finished(seq)
 
     def _run_full_stage(self, stage: Stage, ctx: StageContext) -> None:
         self.observer.stage_started(stage)
@@ -572,8 +847,17 @@ class FGProgram:
             procs.append(self.kernel.spawn(
                 self._run_virtual_group, group,
                 name=f"{self.name}.vgroup[{group.key}]"))
+        replicated: set[int] = set()
+        for rset in self._replica_sets.values():
+            replicated.add(id(rset.stage))
+            for idx in range(rset.total):
+                procs.append(self.kernel.spawn(
+                    self._run_replica, rset, idx,
+                    name=self._replica_name(rset, idx)))
+            procs.append(self.kernel.spawn(
+                self._run_sequencer, rset, name=self._seq_name(rset)))
         for stage in self._unique_stages():
-            if stage.virtual:
+            if stage.virtual or id(stage) in replicated:
                 continue
             ctx = self._contexts[id(stage)]
             runner = (self._run_map_stage if stage.style == "map"
@@ -611,6 +895,9 @@ class FGProgram:
             if id(p) not in self._poisoned:
                 continue
             queues = [self._in_q[(id(p), id(s))] for s in p.stages]
+            queues.extend(rset.reorder
+                          for (pid, _), rset in self._replica_sets.items()
+                          if pid == id(p))
             queues.append(self._sink_q[id(p)])
             for q in queues:
                 if id(q) in seen:
@@ -620,6 +907,8 @@ class FGProgram:
                     ok, item = q.try_get()
                     if not ok:
                         break
+                    if isinstance(item, _Seq):
+                        item = item.buffer
                     if isinstance(item, Buffer) and not item.is_caboose:
                         owner = item.pipeline
                         self._recycle[id(owner)].put(item)
@@ -634,7 +923,114 @@ class FGProgram:
         self.start()
         self.wait()
 
+    # -- runtime tuning (repro.tune mechanisms) -------------------------------------------
+
+    def replica_set(self, pipeline: Pipeline,
+                    stage: Union[Stage, str]) -> ReplicaSet:
+        """The replica set of ``stage`` in ``pipeline`` (started programs
+        only; the stage must have been declared in ``replicas``)."""
+        if isinstance(stage, str):
+            matches = [s for s in pipeline.stages if s.name == stage]
+            if not matches:
+                raise PipelineStructureError(
+                    f"pipeline {pipeline.name!r} has no stage {stage!r}")
+            stage = matches[0]
+        rset = self._replica_sets.get((id(pipeline), id(stage)))
+        if rset is None:
+            raise PipelineStructureError(
+                f"stage {stage.name!r} was not declared replicated in "
+                f"pipeline {pipeline.name!r}; pass replicas={{...}} to "
+                "add_pipeline (count 1 wires the sequencer)")
+        return rset
+
+    def replica_sets(self) -> list[ReplicaSet]:
+        """Every replica set of this program (assembled at start)."""
+        return list(self._replica_sets.values())
+
+    def add_replica(self, pipeline: Pipeline,
+                    stage: Union[Stage, str]) -> bool:
+        """Spawn one more replica of a replicated stage, mid-run.
+
+        Returns False (and spawns nothing) when the replica set already
+        saw its caboose — the new copy could never receive work.
+        """
+        if not self._started:
+            raise PipelineStructureError(
+                "add_replica needs a started program; declare the initial "
+                "count in the pipeline's replicas mapping instead")
+        rset = self.replica_set(pipeline, stage)
+        if rset.finished or rset.live == 0:
+            return False
+        idx = self._new_replica_context(rset)
+        name = self._replica_name(rset, idx)
+        in_q = self._in_q[(id(rset.pipeline), id(rset.stage))]
+        in_q.consumers.add(name)
+        rset.reorder.producers.add(name)
+        proc = self.kernel.spawn(self._run_replica, rset, idx, name=name)
+        self._procs.append(proc)
+        self.observer.replica_added(rset.stage, rset.live)
+        return True
+
+    def add_buffers(self, pipeline: Pipeline, count: int = 1) -> int:
+        """Grow a started pipeline's buffer pool by ``count`` buffers.
+
+        The new buffers are materialized, registered with the sanitizer,
+        and put straight on the recycle channel (unbounded, so this never
+        blocks); the source picks them up on its next round.  Returns the
+        new pool size.
+        """
+        if count < 1:
+            raise PipelineStructureError(
+                f"add_buffers: count must be >= 1, got {count}")
+        if not self._started:
+            raise PipelineStructureError(
+                "add_buffers needs a started program; size the pool with "
+                "nbuffers before start instead")
+        pool = self._buffers[id(pipeline)]
+        recycle = self._recycle[id(pipeline)]
+        for _ in range(count):
+            idx = self._next_buf_index[id(pipeline)]
+            self._next_buf_index[id(pipeline)] = idx + 1
+            buf = Buffer(pipeline, idx, pipeline.buffer_bytes,
+                         with_aux=pipeline.aux_buffers)
+            if self.sanitizer is not None:
+                self.sanitizer.track(buf)
+            pool.append(buf)
+            recycle.put(buf)
+        pipeline.nbuffers += count
+        self.observer.pool_resized(pipeline, count, pipeline.nbuffers)
+        return pipeline.nbuffers
+
+    def retire_buffers(self, pipeline: Pipeline, count: int = 1) -> int:
+        """Shrink a started pipeline's pool by up to ``count`` buffers.
+
+        Retirement is cooperative: the source takes the next ``count``
+        recycled buffers out of circulation instead of re-emitting them
+        (a buffer mid-flight cannot be revoked).  At least one buffer
+        always stays in circulation.  Returns how many retirements were
+        actually scheduled.
+        """
+        if count < 1:
+            raise PipelineStructureError(
+                f"retire_buffers: count must be >= 1, got {count}")
+        if not self._started:
+            raise PipelineStructureError(
+                "retire_buffers needs a started program; size the pool "
+                "with nbuffers before start instead")
+        pending = self._retire_pending.get(id(pipeline), 0)
+        headroom = pipeline.nbuffers - pending - 1
+        granted = max(0, min(count, headroom))
+        if granted:
+            self._retire_pending[id(pipeline)] = pending + granted
+        return granted
+
     # -- introspection -------------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once every spawned FG process has exited (the feedback
+        controller of :mod:`repro.tune` polls this to stop itself)."""
+        return self._started and all(not proc.alive for proc in self._procs)
 
     @property
     def thread_count(self) -> int:

@@ -14,6 +14,9 @@ package is the measurement substrate for every performance question:
   Event Format that ``chrome://tracing`` and https://ui.perfetto.dev load.
 * :mod:`repro.obs.bottleneck` — per-pipeline analysis that names the
   limiting stage and breaks down where every thread's blocked time went.
+* :mod:`repro.obs.timeseries` — binned per-stage accept/queue-wait series
+  and windowed gauge levels, the shared signal layer for the
+  ``repro.tune`` feedback controller and the ``analyze`` wait profiles.
 * :mod:`repro.obs.observer` — the single event path through which FG
   programs record per-stage accept/convey/wait activity.
 
@@ -32,8 +35,22 @@ from repro.obs.chrome_trace import (
     write_chrome_trace,
     write_metrics_json,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    window_average,
+)
 from repro.obs.observer import ProgramObserver
+from repro.obs.timeseries import (
+    SeriesBin,
+    StageSeries,
+    gauge_series,
+    instrumented_programs,
+    render_stage_series,
+    stage_series,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -47,4 +64,11 @@ __all__ = [
     "analyze_bottleneck",
     "BottleneckReport",
     "StageBreakdown",
+    "SeriesBin",
+    "StageSeries",
+    "stage_series",
+    "gauge_series",
+    "instrumented_programs",
+    "render_stage_series",
+    "window_average",
 ]

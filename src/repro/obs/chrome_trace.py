@@ -26,7 +26,7 @@ from typing import IO, Optional, Sequence, Union
 
 from repro.obs.bottleneck import normalize_reason
 from repro.obs.metrics import MetricsRegistry
-from repro.sim.trace import FAULT, Tracer
+from repro.sim.trace import FAULT, TUNE, Tracer
 
 __all__ = ["chrome_trace", "write_chrome_trace", "write_metrics_json"]
 
@@ -70,24 +70,29 @@ def chrome_trace(tracer: Tracer,
             if iv.detail:
                 event["args"] = {"detail": iv.detail}
             events.append(event)
-    # injected faults are instantaneous markers: render each as a
-    # thread-scoped instant event on the process it struck, or on a
-    # dedicated "faults" row when it fired outside any process
-    fault_events = [ev for ev in tracer.events if ev.kind == FAULT]
-    if fault_events:
+    # injected faults and tuner decisions are instantaneous markers:
+    # render each as a thread-scoped instant event on the process it
+    # struck, or on a dedicated per-kind row ("faults" / "tune") when it
+    # fired outside any traced process
+    marker_events = [ev for ev in tracer.events
+                     if ev.kind in (FAULT, TUNE)]
+    if marker_events:
         tid_of = {name: tid for tid, name in enumerate(names)}
-        fault_tid: Optional[int] = None
-        for ev in fault_events:
+        extra_tid: dict[str, int] = {}
+        next_tid = len(names)
+        for ev in marker_events:
             tid = tid_of.get(ev.process)
             if tid is None:
-                if fault_tid is None:
-                    fault_tid = len(names)
+                row = "faults" if ev.kind == FAULT else "tune"
+                if row not in extra_tid:
+                    extra_tid[row] = next_tid
                     events.append({"ph": "M", "name": "thread_name",
-                                   "pid": _PID, "tid": fault_tid,
-                                   "args": {"name": "faults"}})
-                tid = fault_tid
-            events.append({"ph": "i", "name": ev.detail or "fault",
-                           "cat": "fault", "s": "t", "pid": _PID,
+                                   "pid": _PID, "tid": next_tid,
+                                   "args": {"name": row}})
+                    next_tid += 1
+                tid = extra_tid[row]
+            events.append({"ph": "i", "name": ev.detail or ev.kind,
+                           "cat": ev.kind, "s": "t", "pid": _PID,
                            "tid": tid, "ts": _us(ev.time)})
     if metrics is not None:
         for metric in metrics:

@@ -32,10 +32,38 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "window_average"]
 
 #: default bucket bounds for gauge level distributions (queue depths)
 DEFAULT_LEVEL_BOUNDS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def window_average(samples: Sequence[tuple[float, float]], t0: float,
+                   t1: float, initial: float = 0.0) -> float:
+    """Time-weighted average of a step series over ``[t0, t1]``.
+
+    ``samples`` is an ascending ``(time, value)`` list where each entry
+    records the value the series *changed to* at that time; before the
+    first sample the series held ``initial``.  The last known value
+    extends to ``t1``.
+    """
+    if t1 <= t0:
+        raise ValueError(f"empty window [{t0}, {t1}]")
+    value = initial
+    integral = 0.0
+    cursor = t0
+    for st, sv in samples:
+        if st <= t0:
+            value = sv
+            continue
+        if st >= t1:
+            break
+        integral += value * (st - cursor)
+        cursor = st
+        value = sv
+    integral += value * (t1 - cursor)
+    return integral / (t1 - t0)
 
 
 class Metric:
@@ -58,20 +86,48 @@ class Metric:
 
 
 class Counter(Metric):
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
+
+    ``record_samples=True`` keeps the ``(time, cumulative_value)`` series
+    of every increment, which is what turns an aggregate counter into a
+    time series: :meth:`value_at` reads the cumulative value at any past
+    instant and :meth:`window_delta` the growth over a window (the
+    queue-wait signals of ``repro.tune`` and the per-stage series of
+    :mod:`repro.obs.timeseries` are both built on this).
+    """
 
     kind = "counter"
 
     def __init__(self, name: str, clock: Callable[[], float],
-                 unit: str = "", help: str = ""):
+                 unit: str = "", help: str = "",
+                 record_samples: bool = False):
         super().__init__(name, clock, unit, help)
         self.value: float = 0.0
+        self.samples: Optional[list[tuple[float, float]]] = (
+            [] if record_samples else None)
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease "
                              f"(inc by {amount})")
         self.value += amount
+        if self.samples is not None:
+            self.samples.append((self._clock(), self.value))
+
+    def value_at(self, t: float) -> float:
+        """Cumulative value at instant ``t`` (needs record_samples)."""
+        if self.samples is None:
+            raise ValueError(f"counter {self.name!r} records no samples")
+        value = 0.0
+        for st, sv in self.samples:
+            if st > t:
+                break
+            value = sv
+        return value
+
+    def window_delta(self, t0: float, t1: float) -> float:
+        """Growth of the counter over ``[t0, t1]`` (needs record_samples)."""
+        return self.value_at(t1) - self.value_at(t0)
 
     def snapshot(self) -> dict:
         out: dict = {"value": self.value}
@@ -139,6 +195,21 @@ class Gauge(Metric):
             return self.value
         integral = self._integral + self.value * (now - self._last_change)
         return integral / elapsed
+
+    def window_average(self, t0: float, t1: float) -> float:
+        """Time-weighted average of the gauge over ``[t0, t1]``.
+
+        Needs ``record_samples=True``: the step series is integrated
+        piecewise over the window, so the result is exact however
+        irregularly the level changed (``time_average`` restricted to a
+        window).
+        """
+        if self.samples is None:
+            raise ValueError(f"gauge {self.name!r} records no samples; "
+                             "create it with record_samples=True")
+        if t1 <= t0:
+            return self.value
+        return window_average(self.samples, t0, t1, initial=0.0)
 
     def level_distribution(self) -> Optional["Histogram"]:
         """The time-weighted level histogram, if enabled."""
@@ -242,9 +313,15 @@ class MetricsRegistry:
         self._metrics[name] = metric
         return metric
 
-    def counter(self, name: str, unit: str = "",
-                help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, unit=unit, help=help)
+    def counter(self, name: str, unit: str = "", help: str = "",
+                record_samples: bool = False) -> Counter:
+        counter = self._get_or_create(Counter, name, unit=unit, help=help,
+                                      record_samples=record_samples)
+        # an already-registered aggregate counter can be upgraded to a
+        # sampled one (get-or-create must not silently drop the request)
+        if record_samples and counter.samples is None:
+            counter.samples = []
+        return counter
 
     def gauge(self, name: str, unit: str = "", help: str = "",
               record_samples: bool = False,

@@ -67,9 +67,12 @@ class ProgramObserver:
         registry = self.registry
         if registry is not None:
             prefix = self._prefix(stage)
-            registry.counter(f"{prefix}.accepts").inc()
-            registry.counter(f"{prefix}.accept_wait_seconds",
-                             unit="s").inc(wait_seconds)
+            # sampled, so tuning policies and repro.obs.timeseries can
+            # read windowed deltas, not just run-wide aggregates
+            registry.counter(f"{prefix}.accepts",
+                             record_samples=True).inc()
+            registry.counter(f"{prefix}.accept_wait_seconds", unit="s",
+                             record_samples=True).inc(wait_seconds)
 
     def conveyed(self, stage: "Stage",
                  buffer: Optional["Buffer"] = None) -> None:
@@ -107,6 +110,27 @@ class ProgramObserver:
         gauge = self._in_flight(pipeline)
         if gauge is not None:
             gauge.add(-1)
+
+    # -- runtime tuning (repro.tune mechanisms) ----------------------------
+
+    def pool_resized(self, pipeline: "Pipeline", delta: int,
+                     size: int) -> None:
+        """add_buffers / retire_buffers changed the circulating pool."""
+        registry = self.registry
+        if registry is not None:
+            prefix = f"fg.{self.program.name}.pipeline.{pipeline.name}"
+            registry.gauge(f"{prefix}.pool_size",
+                           record_samples=True).set(size)
+            which = "buffers_added" if delta > 0 else "buffers_retired"
+            registry.counter(f"{prefix}.{which}").inc(abs(delta))
+
+    def replica_added(self, stage: "Stage", live: int) -> None:
+        """add_replica spawned one more copy of ``stage`` mid-run."""
+        stage.stats.replicas += 1
+        registry = self.registry
+        if registry is not None:
+            registry.gauge(f"{self._prefix(stage)}.replicas",
+                           record_samples=True).set(live)
 
     # -- sanitizer (FGSan) ----------------------------------------------------
 

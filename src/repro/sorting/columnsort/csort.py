@@ -68,12 +68,17 @@ class CsortConfig:
     cleanup_temps: bool = True
     #: force a specific column count instead of the planner's choice
     s_override: Optional[int] = None
+    #: copies of the permute passes' sort stage (stateless map; see
+    #: repro.tune and docs/TUNING.md)
+    sort_replicas: int = 1
 
     def __post_init__(self):
         if self.out_block_records < 1:
             raise SortError("out_block_records must be >= 1")
         if self.nbuffers < 1:
             raise SortError("nbuffers must be >= 1")
+        if self.sort_replicas < 1:
+            raise SortError("sort_replicas must be >= 1")
 
 
 @dataclasses.dataclass
@@ -101,7 +106,8 @@ def _chunk_for_dest(matrix_pieces: np.ndarray, dest: int, P: int,
 def _build_permute_pass(prog: FGProgram, node: Node, comm: Comm,
                         schema: RecordSchema, plan: ColumnsortPlan,
                         in_file: str, in_fragmented: bool, out_file: str,
-                        routing: str, nbuffers: int, name: str) -> None:
+                        routing: str, nbuffers: int, name: str,
+                        sort_replicas: int = 1) -> None:
     """One of the two permutation passes (steps 1-2 or 3-4)."""
     P = comm.size
     r, s = plan.r, plan.s
@@ -164,7 +170,8 @@ def _build_permute_pass(prog: FGProgram, node: Node, comm: Comm,
         [Stage.map("read", read), Stage.map("sort", sort),
          Stage.map("communicate", communicate), Stage.map("write", write)],
         nbuffers=nbuffers, buffer_bytes=r * rec_bytes, rounds=spp,
-        aux_buffers=True)
+        aux_buffers=True,
+        replicas={"sort": sort_replicas} if sort_replicas > 1 else None)
 
 
 def _build_pass3(prog: FGProgram, node: Node, comm: Comm,
@@ -371,7 +378,8 @@ def run_csort(node: Node, comm: Comm, schema: RecordSchema,
     _build_permute_pass(prog1, node, comm, schema, plan,
                         in_file=config.input_file, in_fragmented=False,
                         out_file=config.temp1_file, routing="transpose",
-                        nbuffers=config.nbuffers, name="pass1")
+                        nbuffers=config.nbuffers, name="pass1",
+                        sort_replicas=config.sort_replicas)
     prog1.run()
     comm.barrier()
     t1 = kernel.now()
@@ -381,7 +389,8 @@ def run_csort(node: Node, comm: Comm, schema: RecordSchema,
     _build_permute_pass(prog2, node, comm, schema, plan,
                         in_file=config.temp1_file, in_fragmented=True,
                         out_file=config.temp2_file, routing="untranspose",
-                        nbuffers=config.nbuffers, name="pass2")
+                        nbuffers=config.nbuffers, name="pass2",
+                        sort_replicas=config.sort_replicas)
     prog2.run()
     comm.barrier()
     t2 = kernel.now()

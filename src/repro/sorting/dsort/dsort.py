@@ -57,10 +57,14 @@ class DsortConfig:
     #: cluster-wide restarts allowed per pass (0 = fail fast); each pass
     #: is a checkpoint, so a retried pass 2 restarts from the sorted runs
     pass_retries: int = 0
+    #: copies of the pass-1 receive pipeline's sort stage (it is
+    #: stateless; see repro.tune and docs/TUNING.md)
+    sort_replicas: int = 1
 
     def __post_init__(self):
         for field in ("block_records", "vertical_block_records",
-                      "out_block_records", "nbuffers", "oversample"):
+                      "out_block_records", "nbuffers", "oversample",
+                      "sort_replicas"):
             if getattr(self, field) < 1:
                 raise SortError(f"{field} must be >= 1")
         if self.pass_retries < 0:
@@ -116,7 +120,8 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
                     input_file=config.input_file,
                     run_prefix=config.run_prefix,
                     block_records=config.block_records,
-                    nbuffers=config.nbuffers, state=state)
+                    nbuffers=config.nbuffers, state=state,
+                    sort_replicas=config.sort_replicas)
         prog1.run()
 
     def reset_pass1() -> None:

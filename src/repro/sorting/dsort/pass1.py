@@ -48,11 +48,15 @@ def build_pass1(prog: FGProgram, node: Node, comm: Comm,
                 schema: RecordSchema, splitters: Splitters,
                 input_file: str, run_prefix: str,
                 block_records: int, nbuffers: int,
-                state: dict) -> None:
+                state: dict, sort_replicas: int = 1) -> None:
     """Add pass-1's send and receive pipelines to ``prog``.
 
     ``state`` collects per-node results: ``state['runs']`` becomes the
     list of ``(file name, record count)`` sorted runs written locally.
+    ``sort_replicas`` runs that many interchangeable copies of the
+    receive pipeline's sort stage (it is stateless, so it is the one
+    pass-1 stage eligible for replication; ``write`` appends to the
+    shared run list and must stay single).
     """
     P = comm.size
     rec_bytes = schema.record_bytes
@@ -178,4 +182,5 @@ def build_pass1(prog: FGProgram, node: Node, comm: Comm,
         [Stage.source_driven("receive", receive), Stage.map("sort", sort),
          Stage.map("write", write)],
         nbuffers=nbuffers, buffer_bytes=block_records * rec_bytes,
-        rounds=None, aux_buffers=True)
+        rounds=None, aux_buffers=True,
+        replicas={"sort": sort_replicas} if sort_replicas > 1 else None)

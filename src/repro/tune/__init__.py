@@ -1,0 +1,75 @@
+"""repro.tune: adaptive auto-tuning for FG programs.
+
+FG's performance knobs — buffers per pool, copies per stage, how much
+each pipeline round moves — have always been hand-tuned.  This package
+closes the loop three ways, all deterministic under the virtual-time
+kernel:
+
+* :mod:`repro.tune.controller` — an **in-run feedback controller**: a
+  kernel process sampling per-stage occupancy and queue-wait signals
+  from the metrics registry at round boundaries and applying a pluggable
+  policy through the runtime mechanisms
+  (:meth:`~repro.core.program.FGProgram.add_replica`,
+  :meth:`~repro.core.program.FGProgram.add_buffers`,
+  :meth:`~repro.core.program.FGProgram.retire_buffers`), with hysteresis
+  and caps;
+* :mod:`repro.tune.search` — **offline search**: deterministic hill
+  climb / grid over a :class:`TuneSpace` of axes, each evaluation one
+  fresh simulated run;
+* :mod:`repro.tune.sorters` — both applied to the paper's sorting
+  benchmarks, including :func:`adaptive_tune_sort`, the run-by-run
+  feedback scheduler that reads each run's signals to decide which axis
+  to move next.
+
+Surfaced as ``python -m repro tune``; the guide is docs/TUNING.md.
+"""
+
+from repro.tune.controller import (
+    BacklogPolicy,
+    PoolSignal,
+    StageSignal,
+    TuneAction,
+    TuneController,
+    TuneDecision,
+    TunePolicy,
+    TuneSample,
+)
+from repro.tune.search import (
+    Axis,
+    Trial,
+    TuneResult,
+    TuneSpace,
+    grid_search,
+    hill_climb,
+)
+from repro.tune.sorters import (
+    AdaptiveResult,
+    adaptive_tune_sort,
+    csort_space,
+    dsort_space,
+    sort_evaluator,
+    tune_sort,
+)
+
+__all__ = [
+    "TuneController",
+    "TunePolicy",
+    "BacklogPolicy",
+    "TuneAction",
+    "TuneDecision",
+    "TuneSample",
+    "StageSignal",
+    "PoolSignal",
+    "Axis",
+    "TuneSpace",
+    "Trial",
+    "TuneResult",
+    "grid_search",
+    "hill_climb",
+    "AdaptiveResult",
+    "dsort_space",
+    "csort_space",
+    "sort_evaluator",
+    "tune_sort",
+    "adaptive_tune_sort",
+]

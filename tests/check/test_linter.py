@@ -38,7 +38,7 @@ def declares(ctx):
 
 
 def test_rule_catalog_is_complete():
-    assert sorted(RULES) == [f"FG10{i}" for i in range(1, 9)]
+    assert sorted(RULES) == [f"FG10{i}" for i in range(1, 10)]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.severity in (Severity.WARNING, Severity.ERROR)
@@ -310,3 +310,127 @@ def test_env_kill_switch_disables_the_gate(monkeypatch):
                       nbuffers=1, buffer_bytes=8, rounds=None)
     prog.start()
     assert prog.lint_findings == []
+
+
+# -- FG109 replicated stage with per-round mutable state --------------------
+
+def replicated_prog(fn, *, replicas=2, extra_stage=True):
+    prog = fresh_prog()
+    stages = [Stage.map("work", fn)]
+    if extra_stage:
+        stages.append(Stage.map("sink", ok_map))
+    prog.add_pipeline("p", stages, nbuffers=4, buffer_bytes=8, rounds=4,
+                      replicas={"work": replicas})
+    return prog
+
+
+def test_fg109_flags_closure_dict_mutation():
+    state = {"next_run": 0, "runs": []}
+
+    def work(ctx, buf):
+        state["next_run"] += 1
+        state["runs"].append(buf.round)
+        return buf
+
+    findings = findings_for(replicated_prog(work), "FG109")
+    assert len(findings) == 1
+    (f,) = findings
+    assert f.severity is Severity.ERROR
+    assert f.stage == "work"
+    assert "state" in f.message
+
+
+def test_fg109_flags_closure_rebinding():
+    count = 0
+
+    def work(ctx, buf):
+        nonlocal count
+        count += 1
+        return buf
+
+    findings = findings_for(replicated_prog(work), "FG109")
+    assert len(findings) == 1
+    assert "count" in findings[0].message
+
+
+def test_fg109_flags_global_mutation():
+    import tests.check.fixtures  # noqa: F401 - only to have a module ns
+
+    def work(ctx, buf):
+        _FG109_GLOBAL_STATE.append(buf.round)
+        return buf
+
+    findings = findings_for(replicated_prog(work), "FG109")
+    assert len(findings) == 1
+
+
+_FG109_GLOBAL_STATE: list = []
+
+
+def test_fg109_flags_attribute_write_on_shared_object():
+    class Holder:
+        total = 0
+
+    holder = Holder()
+
+    def work(ctx, buf):
+        holder.total = holder.total + 1
+        return buf
+
+    findings = findings_for(replicated_prog(work), "FG109")
+    assert len(findings) == 1
+    assert ".total" in findings[0].message
+
+
+def test_fg109_flags_manual_convey():
+    def work(ctx, buf):
+        ctx.convey(buf)
+        return None
+
+    findings = findings_for(replicated_prog(work), "FG109")
+    assert len(findings) == 1
+    assert "convey" in findings[0].message
+
+
+def test_fg109_clean_stateless_stage():
+    """The dsort/csort idiom: read via closure, mutate only the buffer."""
+    class Schema:
+        dtype = None
+
+        def sort(self, records):
+            return records
+
+    schema = Schema()
+
+    def work(ctx, buf):
+        buf.tags["column"] = buf.round
+        buf.tags.setdefault("seen", []).append(1)
+        schema.sort(buf)
+        return buf
+
+    assert findings_for(replicated_prog(work), "FG109") == []
+
+
+def test_fg109_ignores_unreplicated_stateful_stage():
+    state = {"n": 0}
+
+    def work(ctx, buf):
+        state["n"] += 1
+        return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("work", work)],
+                      nbuffers=2, buffer_bytes=8, rounds=2)
+    assert findings_for(prog, "FG109") == []
+
+
+def test_fg109_real_sorter_sort_stages_are_clean():
+    """Replicating the actual dsort/csort sort stages must lint clean —
+    they are the replication targets repro.tune searches over."""
+    from repro.bench.harness import run_sort
+    from repro.pdm.records import RecordSchema
+
+    run = run_sort("dsort", "uniform", RecordSchema.paper_16(),
+                   n_nodes=2, n_per_node=512, seed=0,
+                   tune={"sort_replicas": 2})
+    assert run.verified

@@ -1,0 +1,169 @@
+"""Dynamic buffer-pool tests: mid-run grow/shrink, sanitizer-aware.
+
+Every growth/shrink test runs with FGSan enabled: buffers added at
+runtime must be tracked from birth, and retired buffers must leave
+circulation without tripping (or escaping) the ownership checks.
+"""
+
+import pytest
+
+from repro.check.sanitizer import RETIRED
+from repro.core import FGProgram, Stage
+from repro.errors import PipelineStructureError
+from repro.sim import VirtualTimeKernel
+
+
+def build_counting(kernel, *, rounds, nbuffers=2, per_round=0.01,
+                   sanitize=True):
+    """[work -> collect] where ``work`` burns virtual time per round."""
+    prog = FGProgram(kernel, name="pool", sanitize=sanitize)
+    order = []
+
+    def work(ctx, buf):
+        kernel.sleep(per_round)
+        return buf
+
+    def collect(ctx, buf):
+        order.append(buf.round)
+        return buf
+
+    prog.add_pipeline(
+        "p", [Stage.map("work", work), Stage.map("collect", collect)],
+        nbuffers=nbuffers, buffer_bytes=8, rounds=rounds)
+    return prog, order
+
+
+def test_add_buffers_midrun_is_sanitize_clean():
+    kernel = VirtualTimeKernel()
+    prog, order = build_counting(kernel, rounds=12, nbuffers=2)
+    sizes = []
+
+    def tuner():
+        kernel.sleep(0.03)
+        p = prog.pipelines[0]
+        sizes.append(prog.add_buffers(p, 2))
+        kernel.sleep(0.02)
+        sizes.append(prog.add_buffers(p, 1))
+
+    kernel.spawn(prog.run, name="driver")
+    kernel.spawn(tuner, name="tuner")
+    kernel.run()
+    assert order == list(range(12))
+    assert sizes == [4, 5]
+    assert prog.pipelines[0].nbuffers == 5
+    # FGSan tracked every dynamically added buffer from birth (a
+    # violation would have raised and failed the run)
+    assert len(prog.sanitizer._buffers) == 5
+
+
+def test_retire_buffers_midrun_is_sanitize_clean():
+    kernel = VirtualTimeKernel()
+    prog, order = build_counting(kernel, rounds=12, nbuffers=4)
+
+    granted = []
+
+    def tuner():
+        kernel.sleep(0.03)
+        granted.append(prog.retire_buffers(prog.pipelines[0], 2))
+
+    kernel.spawn(prog.run, name="driver")
+    kernel.spawn(tuner, name="tuner")
+    kernel.run()
+    assert granted == [2]
+    assert order == list(range(12))
+    assert prog.pipelines[0].nbuffers == 2
+    # the retired buffers ended in FGSan's terminal RETIRED state
+    states = [prog.sanitizer._track(b).state
+              for b in prog.sanitizer._buffers]
+    assert states.count(RETIRED) == 2
+
+
+def test_retire_keeps_at_least_one_buffer():
+    kernel = VirtualTimeKernel()
+    prog, order = build_counting(kernel, rounds=8, nbuffers=3)
+
+    granted = []
+
+    def tuner():
+        kernel.sleep(0.02)
+        # ask for far more than the pool holds: only nbuffers-1 granted
+        granted.append(prog.retire_buffers(prog.pipelines[0], 99))
+        # everything shrinkable is already pending: nothing more granted
+        granted.append(prog.retire_buffers(prog.pipelines[0], 1))
+
+    kernel.spawn(prog.run, name="driver")
+    kernel.spawn(tuner, name="tuner")
+    kernel.run()
+    assert granted == [2, 0]
+    assert prog.pipelines[0].nbuffers == 1
+    assert order == list(range(8))  # still completes on the floor buffer
+
+
+def test_grow_then_shrink_round_trip():
+    kernel = VirtualTimeKernel()
+    prog, order = build_counting(kernel, rounds=16, nbuffers=2)
+
+    def tuner():
+        p = prog.pipelines[0]
+        kernel.sleep(0.02)
+        prog.add_buffers(p, 3)
+        kernel.sleep(0.04)
+        prog.retire_buffers(p, 3)
+
+    kernel.spawn(prog.run, name="driver")
+    kernel.spawn(tuner, name="tuner")
+    kernel.run()
+    assert order == list(range(16))
+    assert prog.pipelines[0].nbuffers == 2
+    states = [prog.sanitizer._track(b).state
+              for b in prog.sanitizer._buffers]
+    assert states.count(RETIRED) == 3
+
+
+def test_pool_resize_requires_started_program():
+    kernel = VirtualTimeKernel()
+    prog, _ = build_counting(kernel, rounds=1)
+    with pytest.raises(PipelineStructureError):
+        prog.add_buffers(prog.pipelines[0], 1)
+    with pytest.raises(PipelineStructureError):
+        prog.retire_buffers(prog.pipelines[0], 1)
+
+
+def test_pool_resize_rejects_nonpositive_counts():
+    kernel = VirtualTimeKernel()
+    prog, _ = build_counting(kernel, rounds=1)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    with pytest.raises(PipelineStructureError):
+        prog.add_buffers(prog.pipelines[0], 0)
+    with pytest.raises(PipelineStructureError):
+        prog.retire_buffers(prog.pipelines[0], 0)
+
+
+def test_rendezvous_with_unknown_rounds_rejected_at_construction():
+    """The capacity-0 + rounds=None combination deadlocks before any
+    buffer is delivered; it must be rejected when the pipeline is built,
+    not discovered mid-run."""
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="rv")
+    with pytest.raises(PipelineStructureError, match="rendezvous"):
+        prog.add_pipeline(
+            "p", [Stage.map("s", lambda ctx, buf: buf)],
+            nbuffers=2, buffer_bytes=8, rounds=None, channel_capacity=0)
+
+
+def test_rendezvous_with_declared_rounds_is_allowed():
+    kernel = VirtualTimeKernel()
+    prog, order = (None, None)
+    prog = FGProgram(kernel, name="rv2")
+    seen = []
+
+    def s(ctx, buf):
+        seen.append(buf.round)
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("s", s)], nbuffers=2,
+                      buffer_bytes=8, rounds=3, channel_capacity=1)
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    assert seen == [0, 1, 2]

@@ -1,0 +1,120 @@
+"""Offline search tests: axes, spaces, grid, hill climb, determinism."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.tune import Axis, TuneSpace, grid_search, hill_climb
+
+
+def quadratic_evaluator(optimum):
+    """Separable convex score with its minimum at ``optimum``."""
+    calls = []
+
+    def evaluate(config):
+        calls.append(dict(config))
+        return float(sum((config[k] - v) ** 2 for k, v in optimum.items()))
+
+    evaluate.calls = calls
+    return evaluate
+
+
+def small_space():
+    return TuneSpace([
+        Axis("x", (0, 1, 2, 3, 4), default=0),
+        Axis("y", (0, 1, 2), default=0),
+    ])
+
+
+# -- Axis / TuneSpace --------------------------------------------------------
+
+def test_axis_default_falls_back_to_first_value():
+    assert Axis("a", (3, 5, 7)).default == 3
+
+
+def test_axis_rejects_empty_duplicate_and_foreign_default():
+    with pytest.raises(ReproError):
+        Axis("a", ())
+    with pytest.raises(ReproError):
+        Axis("a", (1, 1, 2))
+    with pytest.raises(ReproError):
+        Axis("a", (1, 2), default=9)
+
+
+def test_space_rejects_duplicate_axis_names():
+    with pytest.raises(ReproError):
+        TuneSpace([Axis("a", (1,)), Axis("a", (2,))])
+    with pytest.raises(ReproError):
+        TuneSpace([])
+
+
+def test_space_size_and_grid_are_lexicographic():
+    space = small_space()
+    assert space.size() == 15
+    grid = space.grid()
+    assert len(grid) == 15
+    assert grid[0] == {"x": 0, "y": 0}
+    assert grid[1] == {"x": 0, "y": 1}   # last axis varies fastest
+    assert grid[-1] == {"x": 4, "y": 2}
+
+
+def test_neighbors_are_coordinate_moves_in_fixed_order():
+    space = small_space()
+    assert space.neighbors({"x": 1, "y": 0}) == [
+        {"x": 0, "y": 0}, {"x": 2, "y": 0},   # x minus then plus
+        {"x": 1, "y": 1},                      # y has no minus neighbor
+    ]
+
+
+# -- searches ----------------------------------------------------------------
+
+def test_grid_search_finds_the_global_optimum():
+    evaluate = quadratic_evaluator({"x": 3, "y": 1})
+    result = grid_search(evaluate, small_space())
+    assert result.best == {"x": 3, "y": 1}
+    assert result.best_score == 0.0
+    assert result.baseline == {"x": 0, "y": 0}
+    assert result.baseline_score == 10.0
+    assert result.method == "grid"
+    # baseline evaluated once, then served from cache during the sweep
+    assert result.evaluations == 15
+
+
+def test_hill_climb_descends_to_the_optimum_on_convex_landscape():
+    evaluate = quadratic_evaluator({"x": 3, "y": 1})
+    result = hill_climb(evaluate, small_space())
+    assert result.best == {"x": 3, "y": 1}
+    assert result.best_score == 0.0
+    assert 0 < result.evaluations < 15    # cheaper than the grid
+    assert result.improvement == 1.0
+
+
+def test_hill_climb_stops_at_baseline_when_nothing_improves():
+    evaluate = quadratic_evaluator({"x": 0, "y": 0})
+    result = hill_climb(evaluate, small_space())
+    assert result.best == {"x": 0, "y": 0}
+    assert result.improvement == 0.0
+
+
+def test_hill_climb_rejects_foreign_start_keys():
+    evaluate = quadratic_evaluator({"x": 0, "y": 0})
+    with pytest.raises(ReproError, match="non-axis"):
+        hill_climb(evaluate, small_space(), start={"x": 0, "z": 1})
+
+
+def test_searches_are_deterministic():
+    def run():
+        evaluate = quadratic_evaluator({"x": 2, "y": 2})
+        result = hill_climb(evaluate, small_space())
+        return (result.best, result.best_score,
+                [(t.config, t.score, t.cached) for t in result.trials])
+
+    assert run() == run()
+
+
+def test_to_json_is_sorted_and_excludes_cache_hits():
+    evaluate = quadratic_evaluator({"x": 1, "y": 1})
+    result = hill_climb(evaluate, small_space())
+    doc = result.to_json()
+    assert list(doc["best"]) == sorted(doc["best"])
+    assert len(doc["trials"]) == result.evaluations
+    assert doc["improvement"] == result.improvement
