@@ -109,6 +109,10 @@ class SortRun:
     #: :func:`repro.obs.write_chrome_trace` / ``write_metrics_json``
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    #: provenance capture (``run_sort(..., provenance=True)``): the
+    #: run's :class:`~repro.prov.record.ProvenanceRecord`, replayable
+    #: via :func:`repro.prov.replay` / ``python -m repro replay``
+    provenance: Optional[object] = None
 
     @property
     def total_time(self) -> float:
@@ -143,7 +147,8 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
              hardware: Optional[HardwareModel] = None,
              block_records: Optional[int] = None,
              seed: int = 0, observe: bool = False,
-             tune: Optional[dict] = None) -> SortRun:
+             tune: Optional[dict] = None,
+             provenance: bool = False) -> SortRun:
     """Run one sorting experiment end to end and verify its output.
 
     ``observe=True`` attaches the execution tracer and a metrics registry
@@ -160,15 +165,34 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
     ``vertical_block_records`` to the default half-block unless that is
     overridden too; unknown field names raise, so tuners cannot silently
     search a no-op axis.
+
+    ``provenance=True`` (implies ``observe=True``) additionally captures
+    a :class:`~repro.prov.record.ProvenanceRecord` on the returned run —
+    args, seeds, stage-graph and code fingerprints, and sha256 digests
+    of the output, metrics snapshot, and event trace — replayable
+    byte-exactly via :func:`repro.prov.replay`.  Only the default
+    benchmark hardware is recordable (the record stores no hardware
+    model).
     """
+    if provenance:
+        if hardware is not None:
+            raise ReproError(
+                "run_sort(provenance=True) supports the default "
+                "benchmark hardware only; a custom HardwareModel is not "
+                "serialized into provenance records")
+        observe = True
     hardware = hardware if hardware is not None else benchmark_hardware()
     n_total = n_nodes * n_per_node
     kernel = None
     tracer = None
+    capture = None
     if observe:
         tracer = Tracer()
         kernel = VirtualTimeKernel(tracer=tracer)
         kernel.enable_metrics()
+        if provenance:
+            from repro.prov import ProvenanceCapture
+            capture = ProvenanceCapture(kernel)
     cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel)
     manifest = generate_input(cluster, schema, n_per_node, distribution,
                               seed=seed)
@@ -222,6 +246,16 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
         verify_partitioned_output(cluster, manifest, output_file)
     else:
         verify_striped_output(cluster, manifest, output_file, out_block)
+
+    record = None
+    if capture is not None:
+        record = _provenance_record(
+            cluster, capture, schema, sorter=sorter,
+            distribution=distribution, n_nodes=n_nodes,
+            n_per_node=n_per_node, block_records=block_records, seed=seed,
+            tune=tune, config=config, out_block=out_block,
+            output_file=output_file)
+
     return SortRun(sorter=sorter, distribution=distribution,
                    record_bytes=schema.record_bytes, n_nodes=n_nodes,
                    n_per_node=n_per_node, phase_times=phases,
@@ -229,4 +263,43 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
                    bytes_io=cluster.total_bytes_io(),
                    bytes_wire=cluster.total_bytes_sent(),
                    max_disk_busy=cluster.max_disk_busy(),
-                   tracer=tracer, metrics=cluster.kernel.metrics)
+                   tracer=tracer, metrics=cluster.kernel.metrics,
+                   provenance=record)
+
+
+def _provenance_record(cluster, capture, schema: RecordSchema, *,
+                       sorter: str, distribution: str, n_nodes: int,
+                       n_per_node: int, block_records: Optional[int],
+                       seed: int, tune: Optional[dict], config,
+                       out_block: Optional[int], output_file: str):
+    """Build the ProvenanceRecord of a finished run_sort execution."""
+    from repro.pdm.striped import StripedFile
+    from repro.prov import (
+        ProvenanceRecord,
+        metrics_digest,
+        output_digest,
+        trace_digest,
+        tune_decision_log,
+        version_info,
+    )
+
+    kernel = cluster.kernel
+    out_sha = ""
+    if out_block is not None:
+        out = StripedFile(cluster, output_file, schema,
+                          out_block).read_all()
+        out_sha = output_digest(out.tobytes())
+    return ProvenanceRecord(
+        kind="sort",
+        args={"sorter": sorter, "distribution": distribution,
+              "record_bytes": schema.record_bytes, "n_nodes": n_nodes,
+              "n_per_node": n_per_node, "block_records": block_records,
+              "seed": seed, "tune": dict(tune) if tune else None},
+        seeds={"workload": seed, "config": getattr(config, "seed", None)},
+        fault_plan=None,
+        tune_decisions=tune_decision_log(kernel.tracer),
+        stage_graphs=dict(capture.stage_graphs),
+        digests={"output": out_sha,
+                 "metrics": metrics_digest(kernel.metrics.snapshot()),
+                 "trace": trace_digest(kernel.tracer)},
+        **version_info())

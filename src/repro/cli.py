@@ -8,6 +8,8 @@ Usage::
     python -m repro overlap
     python -m repro distributions
     python -m repro analyze --trace-out trace.json
+    python -m repro chaos --kill-disk-op 40 --prov-out run.prov.json
+    python -m repro replay run.prov.json
 
 Every command builds a fresh simulated cluster with the scaled paper
 hardware, runs deterministically, verifies the output, and prints the
@@ -42,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--records-per-node", type=int, default=16384)
     p_sort.add_argument("--record-bytes", type=int, default=16)
     p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument("--prov-out", metavar="PATH",
+                        help="capture a provenance record of the run "
+                             "(replayable with `repro replay`)")
 
     p_fig = sub.add_parser(
         "figure8", help="regenerate Figure 8 (dsort vs csort table)")
@@ -111,6 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--trace-out", metavar="PATH",
                          help="write a Chrome-trace JSON with fault "
                               "markers")
+    p_chaos.add_argument("--prov-out", metavar="PATH",
+                         help="capture a provenance record of the chaos "
+                              "run (replayable with `repro replay`)")
 
     p_lint = sub.add_parser(
         "lint", help="statically lint the FG programs assembled by the "
@@ -137,6 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--out", metavar="PATH",
                         help="write the result (best config, baseline, "
                              "trial log) as JSON")
+    p_tune.add_argument("--prov-out", metavar="PATH",
+                        help="re-run the winning config with provenance "
+                             "capture and write its record (replayable "
+                             "with `repro replay`)")
+
+    p_replay = sub.add_parser(
+        "replay", help="re-execute a recorded run byte-exactly and "
+                       "verify its output/metrics/trace digests, or emit "
+                       "a standalone replay script")
+    p_replay.add_argument("record", metavar="RECORD",
+                          help="provenance record JSON (from --prov-out "
+                               "or run_sort(provenance=True))")
+    p_replay.add_argument("--script", metavar="PATH",
+                          help="write a standalone Python replay script "
+                               "instead of replaying now")
+    p_replay.add_argument("--json", action="store_true",
+                          help="emit the replay verdict as JSON")
 
     p_an = sub.add_parser(
         "analyze",
@@ -169,7 +194,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     schema = RecordSchema(args.record_bytes)
     run = run_sort(args.sorter, args.distribution, schema,
                    n_nodes=args.nodes, n_per_node=args.records_per_node,
-                   seed=args.seed)
+                   seed=args.seed, provenance=bool(args.prov_out))
     print(f"{run.sorter} on {run.distribution}: "
           f"{run.n_nodes} nodes x {run.n_per_node} "
           f"{run.record_bytes}-byte records "
@@ -183,6 +208,10 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     print(f"  disk bytes moved: {run.bytes_io} "
           f"({run.bytes_io / run.total_bytes:.2f}x data volume)")
     print(f"  wire bytes sent:  {run.bytes_wire}")
+    if args.prov_out:
+        run.provenance.save(args.prov_out)
+        print(f"  provenance record: {args.prov_out} "
+              f"(verify with `repro replay {args.prov_out}`)")
     return 0
 
 
@@ -485,6 +514,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(report.describe())
     if args.trace_out:
         print(f"chrome trace written to {args.trace_out}")
+    if args.prov_out:
+        report.provenance.save(args.prov_out)
+        print(f"provenance record written to {args.prov_out} "
+              f"(verify with `repro replay {args.prov_out}`)")
     if args.check_determinism:
         again = run()
         identical = (report.output_digest == again.output_digest
@@ -530,7 +563,38 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.prov_out:
+        from repro.tune import record_best_run
+
+        record = record_best_run(args.sorter, doc["best"],
+                                 distribution=args.distribution,
+                                 n_nodes=args.nodes,
+                                 n_per_node=args.records_per_node,
+                                 seed=args.seed)
+        record.save(args.prov_out)
+        print(f"provenance record of the best config written to "
+              f"{args.prov_out} (verify with `repro replay "
+              f"{args.prov_out}`)")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.prov import ProvenanceRecord, emit_script, replay
+
+    record = ProvenanceRecord.load(args.record)
+    if args.script:
+        emit_script(record, args.script)
+        print(f"wrote standalone replay script: {args.script} "
+              f"(run with `PYTHONPATH=src python {args.script}`)")
+        return 0
+    result = replay(record)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.describe())
+    return 0 if result.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -549,6 +613,7 @@ _COMMANDS = {
     "distributions": _cmd_distributions,
     "trace": _cmd_trace,
     "tune": _cmd_tune,
+    "replay": _cmd_replay,
     "analyze": _cmd_analyze,
     "apps": _cmd_apps,
 }

@@ -827,6 +827,7 @@ class FGProgram:
             if errors:
                 raise LintError(findings)
         self._assemble()
+        self.observer.program_started()
         procs: list[Process] = []
         spawned_sources: set[int] = set()
         for p in self.pipelines:

@@ -45,6 +45,11 @@ class ChaosReport:
     fault_summary: dict
     #: full metrics snapshot (counters/gauges/histograms)
     metrics: dict
+    #: sha256 over the metrics snapshot in canonical JSON
+    metrics_digest: str = ""
+    #: the run's provenance record (None when tracing was off or the
+    #: run used non-default hardware); see repro.prov
+    provenance: Optional[Any] = None
 
     def describe(self) -> str:
         """Multi-line human summary (used by ``repro chaos``)."""
@@ -104,10 +109,24 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
     from repro.sorting.verify import verify_striped_output
     from repro.workloads.generator import generate_input
 
+    from repro.prov import (
+        ProvenanceCapture,
+        ProvenanceRecord,
+        metrics_digest,
+        trace_digest,
+        tune_decision_log,
+        version_info,
+    )
+
     if plan is None:
         plan = chaos_plan(seed, n_nodes)
     kernel = VirtualTimeKernel(tracer=Tracer() if trace else None)
     kernel.enable_metrics()
+    # provenance is only meaningful when the run is fully describable:
+    # default hardware (the record stores no hardware model) and tracing
+    # on (the trace digest is part of the record's identity)
+    capture = (ProvenanceCapture(kernel)
+               if trace and hardware is None else None)
     cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel,
                       fault_plan=plan, retry_policy=retry)
     schema = RecordSchema.paper_16()
@@ -130,17 +149,42 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
                       out_block_records).read_all()
     output_digest = hashlib.sha256(out.tobytes()).hexdigest()
 
-    trace_digest = ""
+    run_trace_digest = ""
     if trace:
-        h = hashlib.sha256()
-        for ev in kernel.tracer.events:
-            h.update(f"{ev.time:.9e}|{ev.process}|{ev.kind}|"
-                     f"{ev.detail}\n".encode())
-        trace_digest = h.hexdigest()
+        run_trace_digest = trace_digest(kernel.tracer)
         if trace_path is not None:
             from repro.obs.chrome_trace import write_chrome_trace
             write_chrome_trace(trace_path, kernel.tracer,
                                metrics=kernel.metrics)
+
+    snapshot = kernel.metrics.snapshot()
+    run_metrics_digest = metrics_digest(snapshot)
+
+    provenance = None
+    if capture is not None:
+        provenance = ProvenanceRecord(
+            kind="chaos_dsort",
+            args={"n_nodes": n_nodes,
+                  "records_per_node": records_per_node,
+                  "seed": seed,
+                  "retry": (dataclasses.asdict(retry)
+                            if retry is not None else None),
+                  "pass_retries": pass_retries,
+                  "distribution": distribution,
+                  "block_records": block_records,
+                  "vertical_block_records": vertical_block_records,
+                  "out_block_records": out_block_records,
+                  "oversample": oversample,
+                  "verify": verify},
+            seeds={"workload": seed, "config": config.seed,
+                   "fault_plan": plan.seed},
+            fault_plan=plan.to_json(),
+            tune_decisions=tune_decision_log(kernel.tracer),
+            stage_graphs=dict(capture.stage_graphs),
+            digests={"output": output_digest,
+                     "metrics": run_metrics_digest,
+                     "trace": run_trace_digest},
+            **version_info())
 
     injector = cluster.injector
     return ChaosReport(
@@ -150,8 +194,10 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
         pass_restarts=reports[0].pass_restarts,
         verified=verified,
         output_digest=output_digest,
-        trace_digest=trace_digest,
+        trace_digest=run_trace_digest,
         fault_events=list(injector.events) if injector is not None else [],
         fault_summary=(injector.summary() if injector is not None
                        else {"total": 0, "by_kind": {}}),
-        metrics=kernel.metrics.snapshot())
+        metrics=snapshot,
+        metrics_digest=run_metrics_digest,
+        provenance=provenance)

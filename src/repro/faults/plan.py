@@ -215,6 +215,51 @@ class FaultPlan:
         self.node_crashes.append(NodeCrash(rank, at))
         return self
 
+    # -- serialization ------------------------------------------------------
+
+    #: JSON field name -> (attribute, spec class); the round-trip contract
+    #: provenance records rely on (see repro.prov)
+    _SPEC_FIELDS = (
+        ("disk_faults", DiskFaults),
+        ("disk_fault_ats", DiskFaultAt),
+        ("message_drops", MessageDrops),
+        ("nic_degradations", NicDegradation),
+        ("stragglers", Straggler),
+        ("node_crashes", NodeCrash),
+    )
+
+    def to_json(self) -> dict:
+        """The plan as pure JSON-able data; inverse of :meth:`from_json`.
+
+        Round-trip exact: ``FaultPlan.from_json(plan.to_json())`` drives
+        an injector to the identical fault timeline, which is what lets
+        a provenance record re-create a chaos run byte-exactly.
+        """
+        doc: dict = {"seed": self.seed}
+        for field, _ in self._SPEC_FIELDS:
+            specs = getattr(self, field)
+            if specs:
+                doc[field] = [dataclasses.asdict(s) for s in specs]
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_json` (validating every
+        spec through the normal constructors)."""
+        if not isinstance(doc, dict):
+            raise FaultError(
+                f"fault-plan document must be a dict, got "
+                f"{type(doc).__name__}")
+        plan = cls(seed=doc.get("seed", 0))
+        for field, spec_cls in cls._SPEC_FIELDS:
+            for entry in doc.get(field, []):
+                getattr(plan, field).append(spec_cls(**entry))
+        unknown = set(doc) - {"seed"} - {f for f, _ in cls._SPEC_FIELDS}
+        if unknown:
+            raise FaultError(
+                f"unknown fault-plan field(s) {sorted(unknown)}")
+        return plan
+
     # -- introspection ------------------------------------------------------
 
     @property

@@ -111,8 +111,18 @@ def chrome_trace(tracer: Tracer,
             "generator": "repro.obs",
             "span_seconds": t1 - t0,
             "process_count": len(names),
+            **_version_meta(),
         },
     }
+
+
+def _version_meta() -> dict:
+    """Code/version fingerprint stamped into every export, so a trace or
+    metrics artifact can always be matched to the code that produced it
+    (the same identity provenance records carry — see repro.prov)."""
+    from repro.prov.fingerprint import version_info
+
+    return version_info()
 
 
 def write_chrome_trace(path_or_file: Union[str, IO[str]], tracer: Tracer,
@@ -126,8 +136,14 @@ def write_chrome_trace(path_or_file: Union[str, IO[str]], tracer: Tracer,
 
 def write_metrics_json(path_or_file: Union[str, IO[str]],
                        metrics: MetricsRegistry) -> dict:
-    """Write a registry snapshot as JSON; returns the snapshot."""
-    doc = metrics.snapshot()
+    """Write a registry snapshot as JSON; returns the document.
+
+    The snapshot itself is unchanged (so its digest stays comparable to
+    in-memory snapshots); the exported document wraps it with a ``meta``
+    stamp identifying the code that produced it.
+    """
+    doc = dict(metrics.snapshot())
+    doc["meta"] = _version_meta()
     _dump(doc, path_or_file)
     return doc
 

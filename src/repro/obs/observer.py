@@ -51,6 +51,21 @@ class ProgramObserver:
     def _prefix(self, stage: "Stage") -> str:
         return f"fg.{self.program.name}.stage.{stage.name}"
 
+    # -- program lifecycle --------------------------------------------------
+
+    def program_started(self) -> None:
+        """The program assembled and is about to spawn its processes.
+
+        Forwards the program to the kernel's provenance capture
+        (:class:`repro.prov.capture.ProvenanceCapture`) when one is
+        attached, so every FG program — dsort's passes, csort's, chaos
+        runs, tuned runs — reports its stage-graph fingerprint with zero
+        per-app code.
+        """
+        capture = getattr(self.kernel, "provenance", None)
+        if capture is not None:
+            capture.on_program_start(self.program)
+
     # -- stage lifecycle ----------------------------------------------------
 
     def stage_started(self, stage: "Stage") -> None:

@@ -1,0 +1,179 @@
+"""ProvenanceRecord: one run's full identity, as a JSON document.
+
+A provenance record captures everything needed to (a) re-execute a run
+byte-exactly under the virtual-time kernel and (b) decide whether a
+later re-execution *did* reproduce it:
+
+* ``kind`` + ``args`` — which harness entry point to call and with what
+  arguments (``"sort"`` → :func:`repro.bench.harness.run_sort`,
+  ``"chaos_dsort"`` → :func:`repro.faults.chaos.run_chaos_dsort`);
+* ``seeds`` — every seed the run consumed (workload generator, sorter
+  config, fault plan);
+* ``fault_plan`` — the serialized :class:`~repro.faults.plan.FaultPlan`
+  (``None`` for fault-free runs), round-trippable via
+  :meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`;
+* ``tune_decisions`` — the in-run tuner decision log, harvested from the
+  kernel trace's ``tune`` instants (zero per-app code);
+* ``stage_graphs`` — fingerprint per assembled FG program, captured
+  through the :class:`~repro.obs.observer.ProgramObserver` event path;
+* ``repro_version`` / ``code_fingerprint`` — which source tree ran;
+* ``digests`` — sha256 of the sorted output bytes, the metrics snapshot,
+  and the scheduler event trace.
+
+Everything except ``created`` (an optional wall-clock stamp, for humans)
+is deterministic: recording the same run twice yields byte-identical
+records, and :meth:`ProvenanceRecord.record_digest` — the record's own
+identity — excludes ``created`` so the stamp never perturbs it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import IO, TYPE_CHECKING, Optional, Union
+
+from repro.errors import ReproError
+from repro.prov.fingerprint import canonical_json, digest_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import Tracer
+
+__all__ = [
+    "RECORD_VERSION",
+    "ProvenanceRecord",
+    "metrics_digest",
+    "output_digest",
+    "trace_digest",
+    "tune_decision_log",
+]
+
+#: bump when the record format changes incompatibly
+RECORD_VERSION = 1
+
+
+def output_digest(data: bytes) -> str:
+    """sha256 over the raw output record bytes, in global order."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def metrics_digest(snapshot: dict) -> str:
+    """sha256 over a metrics-registry snapshot in canonical JSON."""
+    return digest_json(snapshot)
+
+
+def trace_digest(tracer: "Tracer") -> str:
+    """sha256 over the full scheduler event timeline.
+
+    The line format matches what the chaos harness has always hashed, so
+    pre-provenance trace digests stay comparable.
+    """
+    h = hashlib.sha256()
+    for ev in tracer.events:
+        h.update(f"{ev.time:.9e}|{ev.process}|{ev.kind}|"
+                 f"{ev.detail}\n".encode())
+    return h.hexdigest()
+
+
+def tune_decision_log(tracer: Optional["Tracer"]) -> list[dict]:
+    """Every tuner decision the run recorded, from the trace's ``tune``
+    instants — the zero-per-app-code capture path for
+    :class:`~repro.tune.controller.TuneController` activity."""
+    if tracer is None:
+        return []
+    from repro.sim.trace import TUNE
+
+    return [{"time": ev.time, "process": ev.process, "detail": ev.detail}
+            for ev in tracer.events if ev.kind == TUNE]
+
+
+@dataclasses.dataclass
+class ProvenanceRecord:
+    """One run's identity; see the module docstring for field semantics."""
+
+    kind: str
+    args: dict = dataclasses.field(default_factory=dict)
+    seeds: dict = dataclasses.field(default_factory=dict)
+    fault_plan: Optional[dict] = None
+    tune_decisions: list = dataclasses.field(default_factory=list)
+    stage_graphs: dict = dataclasses.field(default_factory=dict)
+    digests: dict = dataclasses.field(default_factory=dict)
+    repro_version: str = ""
+    code_fingerprint: str = ""
+    record_version: int = RECORD_VERSION
+    #: optional wall-clock stamp for humans; excluded from record_digest
+    created: str = ""
+
+    # -- identity -----------------------------------------------------------
+
+    def record_digest(self) -> str:
+        """sha256 identity of the record itself (``created`` excluded,
+        so stamping a record never changes what it identifies)."""
+        doc = self.to_json()
+        doc.pop("created", None)
+        return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ProvenanceRecord":
+        if not isinstance(doc, dict) or "kind" not in doc:
+            raise ReproError(
+                "not a provenance record: expected a JSON object with a "
+                f"'kind' field, got {type(doc).__name__}")
+        version = doc.get("record_version", RECORD_VERSION)
+        if version > RECORD_VERSION:
+            raise ReproError(
+                f"provenance record version {version} is newer than this "
+                f"code understands ({RECORD_VERSION}); upgrade repro")
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+    def save(self, path_or_file: Union[str, IO[str]]) -> None:
+        """Write the record as pretty-printed JSON (stable key order)."""
+        doc = self.to_json()
+        if isinstance(path_or_file, str):
+            with open(path_or_file, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        else:
+            json.dump(doc, path_or_file, indent=2, sort_keys=True)
+            path_or_file.write("\n")
+
+    @classmethod
+    def load(cls, path_or_file: Union[str, IO[str]]) -> "ProvenanceRecord":
+        if isinstance(path_or_file, str):
+            with open(path_or_file) as fh:
+                doc = json.load(fh)
+        else:
+            doc = json.load(path_or_file)
+        return cls.from_json(doc)
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human summary (used by ``repro replay``)."""
+        lines = [f"provenance record: kind={self.kind} "
+                 f"digest={self.record_digest()[:16]}…"]
+        if self.created:
+            lines.append(f"  created          {self.created}")
+        lines.append(f"  repro version    {self.repro_version}")
+        lines.append(f"  code fingerprint {self.code_fingerprint[:16]}…")
+        args = " ".join(f"{k}={v}" for k, v in sorted(self.args.items())
+                        if v is not None)
+        lines.append(f"  args             {args}")
+        if self.seeds:
+            lines.append("  seeds            "
+                         + " ".join(f"{k}={v}"
+                                    for k, v in sorted(self.seeds.items())))
+        lines.append(f"  fault plan       "
+                     f"{'yes' if self.fault_plan else 'none'}")
+        lines.append(f"  tune decisions   {len(self.tune_decisions)}")
+        lines.append(f"  stage graphs     {len(self.stage_graphs)}")
+        for name, value in sorted(self.digests.items()):
+            shown = f"{value[:16]}…" if value else "(not captured)"
+            lines.append(f"  {name + ' sha256':16s} {shown}")
+        return "\n".join(lines)

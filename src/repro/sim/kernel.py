@@ -141,6 +141,10 @@ class Kernel:
         #: see :meth:`enable_metrics`.  Channels and FG programs
         #: instrument themselves when it is non-None.
         self.metrics: Optional["MetricsRegistry"] = None
+        #: optional provenance capture (repro.prov.ProvenanceCapture);
+        #: when non-None, every FG program that starts on this kernel
+        #: reports its stage-graph fingerprint through its observer.
+        self.provenance: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
 

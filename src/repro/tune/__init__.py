@@ -47,6 +47,7 @@ from repro.tune.sorters import (
     adaptive_tune_sort,
     csort_space,
     dsort_space,
+    record_best_run,
     sort_evaluator,
     tune_sort,
 )
@@ -72,4 +73,5 @@ __all__ = [
     "sort_evaluator",
     "tune_sort",
     "adaptive_tune_sort",
+    "record_best_run",
 ]

@@ -265,6 +265,19 @@ class TuneController:
         self.samples: list[TuneSample] = []
         self._proc = None
 
+    def decision_log(self) -> list[dict]:
+        """The applied/rejected decisions as JSON-able data.
+
+        This is the structured form of the ``tune`` trace instants that
+        :func:`repro.prov.tune_decision_log` harvests into provenance
+        records; use it for direct inspection of a controller you own.
+        """
+        return [{"time": d.time, "kind": d.action.kind,
+                 "pipeline": d.action.pipeline, "stage": d.action.stage,
+                 "count": d.action.count, "reason": d.action.reason,
+                 "applied": d.applied}
+                for d in self.decisions]
+
     def start(self):
         """Spawn the control loop; returns its kernel process."""
         if not self.program._started:

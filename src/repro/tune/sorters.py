@@ -22,12 +22,10 @@ Three layers, all deterministic under the virtual-time kernel:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.errors import ReproError
 from repro.tune.search import (
     Axis,
-    Trial,
     TuneResult,
     TuneSpace,
     grid_search,
@@ -35,7 +33,7 @@ from repro.tune.search import (
 )
 
 __all__ = ["AdaptiveResult", "adaptive_tune_sort", "csort_space",
-           "dsort_space", "sort_evaluator", "tune_sort"]
+           "dsort_space", "record_best_run", "sort_evaluator", "tune_sort"]
 
 #: pool sizes worth trying (the seed default is 4)
 _NBUFFERS = (2, 3, 4, 6, 8)
@@ -292,3 +290,25 @@ def adaptive_tune_sort(sorter: str, distribution: str = "uniform",
                           baseline=baseline,
                           baseline_score=baseline_score,
                           history=history, evaluations=runs)
+
+
+def record_best_run(sorter: str, best: dict, distribution: str = "uniform",
+                    schema=None, n_nodes: int = 4, n_per_node: int = 4096,
+                    seed: int = 0):
+    """Re-run a tuner's winning config with provenance capture.
+
+    Returns the :class:`~repro.prov.record.ProvenanceRecord` of one
+    verified run of ``best`` — the replayable artifact a tuning session
+    should publish next to its trial log, so "the tuned configuration is
+    X% faster" stays a reproducible claim (``python -m repro tune
+    --prov-out`` wires this up).
+    """
+    from repro.bench.harness import run_sort
+    from repro.pdm.records import RecordSchema
+
+    if schema is None:
+        schema = RecordSchema.paper_16()
+    run = run_sort(sorter, distribution, schema, n_nodes=n_nodes,
+                   n_per_node=n_per_node, seed=seed, tune=dict(best),
+                   provenance=True)
+    return run.provenance

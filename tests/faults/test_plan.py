@@ -95,3 +95,38 @@ def test_chaos_plan_zero_rates_give_empty_plan():
 def test_chaos_plan_rejects_out_of_range_straggler():
     with pytest.raises(FaultError):
         chaos_plan(0, 2, straggler_rank=5)
+
+
+def test_plan_json_round_trip():
+    plan = (FaultPlan(seed=7)
+            .with_disk_faults(rate=0.1, start=1.0, end=2.0)
+            .with_disk_fault_at(rank=1, op_index=5, permanent=True)
+            .with_message_drops(rate=0.05, src=0, dst=2)
+            .with_nic_degradation(factor=2.0, rank=1)
+            .with_straggler(rank=2, slowdown=4.0)
+            .with_node_crash(rank=0, at=10.0))
+    doc = plan.to_json()
+    assert doc["seed"] == 7
+    rebuilt = FaultPlan.from_json(doc)
+    assert rebuilt.to_json() == doc
+    assert rebuilt.disk_fault_ats == plan.disk_fault_ats
+    assert rebuilt.stragglers == plan.stragglers
+    # JSON-serializable all the way down (what provenance records store)
+    import json
+    assert FaultPlan.from_json(json.loads(json.dumps(doc))).to_json() == doc
+
+
+def test_empty_plan_json_round_trip():
+    plan = FaultPlan(seed=3)
+    doc = plan.to_json()
+    assert doc == {"seed": 3}
+    rebuilt = FaultPlan.from_json(doc)
+    assert rebuilt.empty and rebuilt.seed == 3
+
+
+def test_plan_from_json_validates():
+    with pytest.raises(FaultError):
+        FaultPlan.from_json({"seed": 0,
+                             "disk_faults": [{"rate": 1.5}]})
+    with pytest.raises(FaultError):
+        FaultPlan.from_json({"seed": 0, "unknown_faults": []})

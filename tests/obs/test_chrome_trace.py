@@ -17,6 +17,18 @@ from repro.sim import Channel, Tracer, VirtualTimeKernel
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_trace.json")
 
+#: otherData keys that change with every code revision by design (the
+#: version stamp exports carry — see repro.prov); the golden comparison
+#: normalizes them so the golden file doesn't churn on unrelated changes
+VOLATILE_META = ("code_fingerprint", "repro_version")
+
+
+def _normalized(raw: str) -> str:
+    doc = json.loads(raw)
+    for key in VOLATILE_META:
+        doc.get("otherData", {}).pop(key, None)
+    return json.dumps(doc, sort_keys=True)
+
 
 def tiny_scenario():
     """Two processes handing three items over a capacity-1 channel."""
@@ -48,7 +60,7 @@ def test_chrome_trace_matches_golden_file():
     out = io.StringIO()
     write_chrome_trace(out, tracer, metrics=registry)
     with open(GOLDEN_PATH) as fh:
-        assert out.getvalue() == fh.read()
+        assert _normalized(out.getvalue()) == _normalized(fh.read())
 
 
 def test_document_structure():
@@ -56,6 +68,9 @@ def test_document_structure():
     doc = chrome_trace(tracer, metrics=registry)
     assert doc["displayTimeUnit"] == "ms"
     assert doc["otherData"]["process_count"] == 2
+    # every export is stamped with the identity of the code that made it
+    assert len(doc["otherData"]["code_fingerprint"]) == 64
+    assert doc["otherData"]["repro_version"]
     kinds = {ev["ph"] for ev in doc["traceEvents"]}
     assert kinds == {"M", "X", "C"}
     # one thread_name + one thread_sort_index metadata row per process
@@ -103,6 +118,8 @@ def test_output_is_valid_loadable_json(tmp_path):
     assert isinstance(doc["traceEvents"], list)
     snap = json.loads(metrics_path.read_text())
     assert set(snap) >= {"captured_at", "counters", "gauges", "histograms"}
+    assert len(snap["meta"]["code_fingerprint"]) == 64
+    assert snap["meta"]["repro_version"]
 
 
 def _regenerate_golden():

@@ -1,0 +1,86 @@
+"""Tests for code and stage-graph fingerprints.
+
+The fingerprints are the provenance subsystem's notion of identity:
+stable within one source tree / one program structure, different across
+trees / structures, and never dependent on runtime state.
+"""
+
+import numpy as np
+
+from repro.core import FGProgram, Stage
+from repro.prov import (
+    canonical_json,
+    code_fingerprint,
+    digest_json,
+    program_graph,
+    stage_graph_fingerprint,
+    version_info,
+)
+from repro.sim import VirtualTimeKernel
+
+
+def test_canonical_json_is_order_insensitive():
+    a = canonical_json({"b": 1, "a": [1, 2]})
+    b = canonical_json({"a": [1, 2], "b": 1})
+    assert a == b == '{"a":[1,2],"b":1}'
+    assert digest_json({"b": 1, "a": [1, 2]}) == digest_json(
+        {"a": [1, 2], "b": 1})
+
+
+def test_code_fingerprint_is_stable_and_hex():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 64
+    int(fp, 16)  # valid hex
+
+
+def test_version_info_carries_both_identities():
+    info = version_info()
+    assert set(info) == {"repro_version", "code_fingerprint"}
+    assert info["code_fingerprint"] == code_fingerprint()
+
+
+def _program(kernel, nbuffers=2, rounds=3, extra_stage=False):
+    prog = FGProgram(kernel, name="fp-test")
+
+    def fill(ctx, buf):
+        buf.put(np.zeros(4, dtype=np.uint8))
+        return buf
+
+    stages = [Stage.map("fill", fill)]
+    if extra_stage:
+        stages.append(Stage.map("echo", lambda ctx, b: b))
+    prog.add_pipeline("p", stages, nbuffers=nbuffers, buffer_bytes=16,
+                      rounds=rounds)
+    return prog
+
+
+def test_stage_graph_fingerprint_is_structure_only():
+    """Same declared structure -> same fingerprint, even across kernels
+    and before/after running."""
+    k1, k2 = VirtualTimeKernel(), VirtualTimeKernel()
+    p1, p2 = _program(k1), _program(k2)
+    assert stage_graph_fingerprint(p1) == stage_graph_fingerprint(p2)
+    k1.spawn(p1.run, name="driver")
+    k1.run()
+    assert stage_graph_fingerprint(p1) == stage_graph_fingerprint(p2)
+
+
+def test_stage_graph_fingerprint_sees_structure_changes():
+    kernel = VirtualTimeKernel()
+    base = stage_graph_fingerprint(_program(VirtualTimeKernel()))
+    assert stage_graph_fingerprint(
+        _program(kernel, nbuffers=3)) != base
+    assert stage_graph_fingerprint(
+        _program(VirtualTimeKernel(), rounds=7)) != base
+    assert stage_graph_fingerprint(
+        _program(VirtualTimeKernel(), extra_stage=True)) != base
+
+
+def test_program_graph_names_every_stage():
+    graph = program_graph(_program(VirtualTimeKernel(), extra_stage=True))
+    assert graph["name"] == "fp-test"
+    (pipeline,) = graph["pipelines"]
+    assert [s["name"] for s in pipeline["stages"]] == ["fill", "echo"]
+    assert pipeline["nbuffers"] == 2
+    assert pipeline["rounds"] == 3
