@@ -1,0 +1,107 @@
+"""repro.plan acceptance benchmarks: planned defaults vs. the tuner.
+
+The planner's claim is that the hardware cost model predicts the tuner's
+winners: applying a compiled plan — zero search evaluations, no cluster
+runs — must close at least half of the gap between the hand-tuned
+default and the offline tuner's best config, for both sorts.  On this
+cost model it closes *all* of it (the analytic argmin is the tuned
+optimum), and a plan-warm-started hill climb verifies that in no more
+evaluations than a cold one.
+
+Every result is byte-deterministic across same-seed runs; the JSON
+artifacts under ``results/`` are what ``repro plan --json`` would emit,
+plus the measured makespans.
+"""
+
+import json
+import os
+
+from conftest import RESULTS_DIR, save_result
+
+from repro.bench import render_table
+from repro.bench.harness import run_sort
+from repro.pdm.records import RecordSchema
+from repro.plan import plan_sort
+from repro.tune import tune_sort
+
+N_NODES = 4
+N_PER_NODE = 4096
+SEED = 0
+
+
+def save_json(name: str, doc: dict) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[saved planner result to {path}]")
+    return path
+
+
+def plan_vs_tuner(sorter):
+    schema = RecordSchema.paper_16()
+    common = dict(n_nodes=N_NODES, n_per_node=N_PER_NODE, seed=SEED)
+    baseline = run_sort(sorter, "uniform", schema, **common)
+    plan = plan_sort(sorter, N_NODES, N_PER_NODE,
+                     record_bytes=schema.record_bytes)
+    planned = run_sort(sorter, "uniform", schema, plan=plan, **common)
+    cold = tune_sort(sorter, **common)
+    warm = tune_sort(sorter, warm_start=plan, **common)
+    assert baseline.verified and planned.verified
+    return {"baseline": baseline.total_time, "plan": plan,
+            "planned": planned.total_time, "cold": cold, "warm": warm}
+
+
+def test_planned_defaults_close_the_tuner_gap(once):
+    results = once(lambda: {s: plan_vs_tuner(s)
+                            for s in ("dsort", "csort")})
+
+    rows = []
+    for sorter, r in results.items():
+        baseline, planned = r["baseline"], r["planned"]
+        cold, warm, plan = r["cold"], r["warm"], r["plan"]
+        best = cold.best_score
+        gap_closure = ((baseline - planned) / (baseline - best)
+                       if baseline > best else 1.0)
+        save_json(f"planner_{sorter}", {
+            "plan": plan.to_json(),
+            "baseline_ms": baseline * 1e3,
+            "planned_ms": planned * 1e3,
+            "tuner_best_ms": best * 1e3,
+            "gap_closure": gap_closure,
+            "cold_evaluations": cold.evaluations,
+            "warm_evaluations": warm.evaluations,
+        })
+        rows.append([sorter, baseline * 1e3, planned * 1e3, best * 1e3,
+                     f"{gap_closure:.0%}", cold.evaluations,
+                     warm.evaluations])
+
+        # the tentpole acceptance criteria: planned defaults close at
+        # least half the default-to-tuned gap at zero evaluations
+        assert gap_closure >= 0.5, \
+            f"{sorter}: plan closes only {gap_closure:.0%} of the gap"
+        # and warm-starting the climb at the plan never hurts
+        assert warm.best_score <= cold.best_score
+        assert warm.evaluations <= cold.evaluations
+
+    save_result(
+        "planner",
+        "compiled plans vs offline tuner "
+        f"({N_NODES} nodes x {N_PER_NODE} records, seed {SEED}; "
+        "plans cost zero evaluations)\n"
+        + render_table(["sorter", "default (ms)", "planned (ms)",
+                        "tuner best (ms)", "gap closed", "cold evals",
+                        "warm evals"], rows))
+
+
+def test_planner_output_is_byte_deterministic(once):
+    def twice():
+        return (plan_sort("dsort", N_NODES, N_PER_NODE).to_json(),
+                plan_sort("dsort", N_NODES, N_PER_NODE).to_json(),
+                plan_sort("csort", N_NODES, N_PER_NODE).to_json())
+
+    first, second, _ = once(twice)
+    a = json.dumps(first, indent=2, sort_keys=True)
+    b = json.dumps(second, indent=2, sort_keys=True)
+    assert a.encode() == b.encode()

@@ -148,6 +148,7 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
              block_records: Optional[int] = None,
              seed: int = 0, observe: bool = False,
              tune: Optional[dict] = None,
+             plan: object = None,
              provenance: bool = False) -> SortRun:
     """Run one sorting experiment end to end and verify its output.
 
@@ -166,6 +167,14 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
     overridden too; unknown field names raise, so tuners cannot silently
     search a no-op axis.
 
+    ``plan`` applies a compiled execution plan
+    (:class:`repro.plan.Plan`): its geometry overrides are layered
+    under any explicit ``tune`` dict, and the plan is installed on the
+    run's kernel so every program compiles through it at ``start()``
+    (stage fusion + structural stamp).  Pass ``plan=True`` to compile
+    one on the spot with :func:`repro.plan.plan_sort`.  The plan must
+    match the run's sorter and shape.
+
     ``provenance=True`` (implies ``observe=True``) additionally captures
     a :class:`~repro.prov.record.ProvenanceRecord` on the returned run —
     args, seeds, stage-graph and code fingerprints, and sha256 digests
@@ -183,6 +192,28 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
         observe = True
     hardware = hardware if hardware is not None else benchmark_hardware()
     n_total = n_nodes * n_per_node
+    plan_obj = None
+    if plan is not None and plan is not False:
+        if plan is True:
+            from repro.plan import plan_sort
+            plan_obj = plan_sort(sorter, n_nodes, n_per_node,
+                                 record_bytes=schema.record_bytes)
+        else:
+            plan_obj = plan
+        mismatches = [
+            f"{field} (plan {got!r}, run {want!r})"
+            for field, got, want in [
+                ("sorter", plan_obj.sorter, sorter),
+                ("n_nodes", plan_obj.n_nodes, n_nodes),
+                ("n_per_node", plan_obj.n_per_node, n_per_node),
+                ("record_bytes", plan_obj.record_bytes,
+                 schema.record_bytes)]
+            if got != want]
+        if mismatches:
+            raise ReproError(
+                "plan does not match this run: "
+                + "; ".join(mismatches)
+                + " — compile a plan for the shape being run")
     kernel = None
     tracer = None
     capture = None
@@ -194,6 +225,12 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
             from repro.prov import ProvenanceCapture
             capture = ProvenanceCapture(kernel)
     cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel)
+    if plan_obj is not None:
+        # every FGProgram.start() on this kernel now compiles through
+        # the plan; geometry overrides layer UNDER any explicit tune
+        # dict so a tuner can still probe around the planned point
+        plan_obj.install(cluster.kernel)
+        tune = {**plan_obj.config, **(tune or {})}
     manifest = generate_input(cluster, schema, n_per_node, distribution,
                               seed=seed)
     imbalance: Optional[float] = None
@@ -253,7 +290,7 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
             cluster, capture, schema, sorter=sorter,
             distribution=distribution, n_nodes=n_nodes,
             n_per_node=n_per_node, block_records=block_records, seed=seed,
-            tune=tune, config=config, out_block=out_block,
+            tune=tune, plan=plan_obj, config=config, out_block=out_block,
             output_file=output_file)
 
     return SortRun(sorter=sorter, distribution=distribution,
@@ -270,8 +307,9 @@ def run_sort(sorter: str, distribution: str, schema: RecordSchema,
 def _provenance_record(cluster, capture, schema: RecordSchema, *,
                        sorter: str, distribution: str, n_nodes: int,
                        n_per_node: int, block_records: Optional[int],
-                       seed: int, tune: Optional[dict], config,
-                       out_block: Optional[int], output_file: str):
+                       seed: int, tune: Optional[dict], plan,
+                       config, out_block: Optional[int],
+                       output_file: str):
     """Build the ProvenanceRecord of a finished run_sort execution."""
     from repro.pdm.striped import StripedFile
     from repro.prov import (
@@ -294,7 +332,8 @@ def _provenance_record(cluster, capture, schema: RecordSchema, *,
         args={"sorter": sorter, "distribution": distribution,
               "record_bytes": schema.record_bytes, "n_nodes": n_nodes,
               "n_per_node": n_per_node, "block_records": block_records,
-              "seed": seed, "tune": dict(tune) if tune else None},
+              "seed": seed, "tune": dict(tune) if tune else None,
+              "plan": plan.to_json() if plan is not None else None},
         seeds={"workload": seed, "config": getattr(config, "seed", None)},
         fault_plan=None,
         tune_decisions=tune_decision_log(kernel.tracer),

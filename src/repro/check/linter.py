@@ -12,7 +12,8 @@ Rule catalog (see docs/ANALYSIS.md for the long-form description):
 ========  ========  =====================================================
 ID        Severity  Checks
 ========  ========  =====================================================
-FG101     warning   buffer pool smaller than pipeline depth (stall)
+FG101     warning   buffer pool smaller than the replica-expanded
+                    pipeline depth (stall)
 FG102     error     cycle in the intersecting-pipeline stage-order graph
 FG103     error     stage style/arity contract violation (fn missing,
                     wrong parameter count for its style)
@@ -33,6 +34,12 @@ FG109     error     replicated stage carries per-round mutable state
 Suppress individual rules per program with
 ``FGProgram(lint_ignore={"FG101"})`` or globally with
 ``REPRO_LINT_IGNORE=FG101,FG108``.
+
+Every rule reads the program through the shared graph IR
+(:class:`repro.plan.ir.ProgramGraph`) — the same structural view the
+planner compiles and the provenance fingerprints hash — so structural
+features added to the runtime (replication, dynamic pools, fusion) only
+need to be modelled once.
 """
 
 from __future__ import annotations
@@ -45,10 +52,10 @@ import types
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
 
 from repro.check.findings import Finding, LintReport, Rule, Severity
+from repro.plan.ir import ProgramGraph
 from repro.sim.waitfor import WaitForGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.pipeline import Pipeline
     from repro.core.program import FGProgram
     from repro.core.stage import Stage
 
@@ -182,28 +189,39 @@ def _stage_declares_eos(stage: "Stage") -> bool:
 # -- rule implementations ---------------------------------------------------
 
 
-def _check_pool_depth(prog: "FGProgram") -> Iterator[Finding]:
-    for p in prog.pipelines:
-        if p.nbuffers < len(p.stages):
-            yield Finding(
-                "FG101", Severity.WARNING,
-                f"pool of {p.nbuffers} buffer(s) is smaller than the "
-                f"pipeline depth of {len(p.stages)} stage(s); at most "
-                f"{p.nbuffers} stage(s) can hold data at once",
-                program=prog.name, pipeline=p.name)
+def _check_pool_depth(prog: "FGProgram",
+                      graph: ProgramGraph) -> Iterator[Finding]:
+    for p in graph.pipelines:
+        depth = p.effective_depth
+        if p.nbuffers >= depth:
+            continue
+        detail = f"{depth} stage(s)"
+        if depth != len(p.stages):
+            expanded = ", ".join(
+                f"{node.name} x{node.replica_count} replicas + sequencer"
+                for node in p.stages if node.replicated)
+            detail = (f"{depth} concurrent holder(s) once replication "
+                      f"expands ({expanded})")
+        yield Finding(
+            "FG101", Severity.WARNING,
+            f"pool of {p.nbuffers} buffer(s) is smaller than the "
+            f"pipeline depth of {detail}; at most "
+            f"{p.nbuffers} stage(s) can hold data at once",
+            program=prog.name, pipeline=p.name)
 
 
-def _check_stage_order_cycle(prog: "FGProgram") -> Iterator[Finding]:
+def _check_stage_order_cycle(prog: "FGProgram",
+                             graph: ProgramGraph) -> Iterator[Finding]:
     edges: dict[int, set[int]] = {}
     names: dict[int, str] = {}
     edge_pipelines: dict[tuple[int, int], str] = {}
-    for p in prog.pipelines:
+    for p in graph.pipelines:
         for a, b in zip(p.stages, p.stages[1:]):
-            names[id(a)] = a.name
-            names[id(b)] = b.name
-            edges.setdefault(id(a), set()).add(id(b))
-            edges.setdefault(id(b), set())
-            edge_pipelines.setdefault((id(a), id(b)), p.name)
+            names[id(a.stage)] = a.name
+            names[id(b.stage)] = b.name
+            edges.setdefault(id(a.stage), set()).add(id(b.stage))
+            edges.setdefault(id(b.stage), set())
+            edge_pipelines.setdefault((id(a.stage), id(b.stage)), p.name)
     graph = WaitForGraph()
     # stage names may theoretically collide; suffix ids to keep nodes
     # unique, strip them again when rendering
@@ -228,10 +246,12 @@ def _check_stage_order_cycle(prog: "FGProgram") -> Iterator[Finding]:
         stage=display[0])
 
 
-def _check_stage_contract(prog: "FGProgram") -> Iterator[Finding]:
+def _check_stage_contract(prog: "FGProgram",
+                          graph: ProgramGraph) -> Iterator[Finding]:
     reported: set[int] = set()
-    for p in prog.pipelines:
-        for s in p.stages:
+    for p in graph.pipelines:
+        for node in p.stages:
+            s = node.stage
             if id(s) in reported:
                 continue
             if s.fn is None:
@@ -259,14 +279,15 @@ def _check_stage_contract(prog: "FGProgram") -> Iterator[Finding]:
                     program=prog.name, pipeline=p.name, stage=s.name)
 
 
-def _check_eos_declarers(prog: "FGProgram") -> Iterator[Finding]:
-    for p in prog.pipelines:
+def _check_eos_declarers(prog: "FGProgram",
+                         graph: ProgramGraph) -> Iterator[Finding]:
+    for p in graph.pipelines:
         if p.rounds is not None:
             continue
-        declarers = [i for i, s in enumerate(p.stages)
-                     if _stage_declares_eos(s)]
+        declarers = [i for i, node in enumerate(p.stages)
+                     if _stage_declares_eos(node.stage)]
         if not declarers:
-            if any(s.style == "full" for s in p.stages):
+            if any(node.style == "full" for node in p.stages):
                 # a full-control loop could still declare EOS through
                 # state the scan cannot see; don't claim certainty
                 continue
@@ -278,9 +299,10 @@ def _check_eos_declarers(prog: "FGProgram") -> Iterator[Finding]:
                 program=prog.name, pipeline=p.name)
             continue
         first = min(declarers)
-        if first > 0 and not any(_stage_declares_eos(s) or s.style == "full"
-                                 for s in p.stages[:first]):
-            blind = ", ".join(s.name for s in p.stages[:first])
+        if first > 0 and not any(_stage_declares_eos(node.stage)
+                                 or node.style == "full"
+                                 for node in p.stages[:first]):
+            blind = ", ".join(node.name for node in p.stages[:first])
             yield Finding(
                 "FG105", Severity.ERROR,
                 f"end-of-stream is declared by stage "
@@ -291,8 +313,9 @@ def _check_eos_declarers(prog: "FGProgram") -> Iterator[Finding]:
                 stage=p.stages[first].name)
 
 
-def _check_zero_rounds(prog: "FGProgram") -> Iterator[Finding]:
-    for p in prog.pipelines:
+def _check_zero_rounds(prog: "FGProgram",
+                       graph: ProgramGraph) -> Iterator[Finding]:
+    for p in graph.pipelines:
         if p.rounds == 0:
             yield Finding(
                 "FG106", Severity.WARNING,
@@ -301,7 +324,8 @@ def _check_zero_rounds(prog: "FGProgram") -> Iterator[Finding]:
                 program=prog.name, pipeline=p.name)
 
 
-def _check_failure_hook(prog: "FGProgram") -> Iterator[Finding]:
+def _check_failure_hook(prog: "FGProgram",
+                        graph: ProgramGraph) -> Iterator[Finding]:
     hook = prog.on_pipeline_failure
     if hook is None:
         return
@@ -325,43 +349,42 @@ def _check_failure_hook(prog: "FGProgram") -> Iterator[Finding]:
             program=prog.name)
 
 
-def _chain_parking(p: "Pipeline", spos: int, tpos: int) -> Optional[int]:
-    """Buffers the channel chain + intermediate stages between two stage
-    positions of ``p`` can absorb, or None when a channel is unbounded."""
-    if p.channel_capacity is None:
-        return None
-    hops = tpos - spos
-    return hops * p.channel_capacity + (hops - 1)
-
-
-def _check_bounded_chains(prog: "FGProgram") -> Iterator[Finding]:
-    for p in prog.pipelines:
+def _check_bounded_chains(prog: "FGProgram",
+                          graph: ProgramGraph) -> Iterator[Finding]:
+    for p in graph.pipelines:
         if p.channel_capacity is None:
-            continue
-        for q in prog.pipelines:
+            continue  # every edge unbounded: nothing to bound
+        for q in graph.pipelines:
             if q is p:
                 continue
-            shared = [s for s in p.stages if s in q]
+            q_ids = {id(node.stage) for node in q.stages}
+            shared = [node for node in p.stages
+                      if id(node.stage) in q_ids]
             for si, s in enumerate(shared):
                 for t in shared[si + 1:]:
-                    spos_p, tpos_p = p.position_of(s), p.position_of(t)
-                    spos_q, tpos_q = q.position_of(s), q.position_of(t)
+                    spos_p, tpos_p = p.index_of(s.stage), p.index_of(t.stage)
+                    spos_q = q.index_of(s.stage)
+                    tpos_q = q.index_of(t.stage)
                     if spos_p > tpos_p or spos_q > tpos_q:
                         continue  # inconsistent order is FG102's job
-                    parking = _chain_parking(p, spos_p, tpos_p)
+                    # edge-wise over the IR: a capacity-0 rendezvous
+                    # edge parks nothing, and any unbounded edge in the
+                    # chain (virtual-group queue, reorder channel
+                    # behind a replicated stage) absorbs the whole pool
+                    parking = p.chain_parking(spos_p, tpos_p)
                     if parking is None or p.nbuffers <= parking:
                         continue
-                    graph = WaitForGraph()
-                    graph.add_edge(
+                    wait = WaitForGraph()
+                    wait.add_edge(
                         t.name, s.name,
                         f"awaiting {q.name} data produced via "
                         f"{s.name}")
-                    graph.add_edge(
+                    wait.add_edge(
                         s.name, t.name,
                         f"awaiting space in the full {p.name} chain "
                         f"drained by {t.name}")
-                    cycle = graph.find_cycle()
-                    rendered = (graph.render_cycle(cycle)
+                    cycle = wait.find_cycle()
+                    rendered = (wait.render_cycle(cycle)
                                 if cycle else f"{s.name} <-> {t.name}")
                     yield Finding(
                         "FG108", Severity.ERROR,
@@ -489,10 +512,12 @@ def _shared_state_evidence(fn: Callable[..., Any]) -> list[str]:
     return evidence
 
 
-def _check_replicated_state(prog: "FGProgram") -> Iterator[Finding]:
-    for p in prog.pipelines:
-        for s in p.stages:
-            if not p.is_replicated(s) or s.fn is None:
+def _check_replicated_state(prog: "FGProgram",
+                            graph: ProgramGraph) -> Iterator[Finding]:
+    for p in graph.pipelines:
+        for node in p.stages:
+            s = node.stage
+            if not node.replicated or s.fn is None:
                 continue
             evidence = _shared_state_evidence(s.fn)
             if any(n in ("convey", "convey_caboose")
@@ -535,8 +560,9 @@ def lint_program(prog: "FGProgram",
     declared structure (pipelines, stages, hooks).
     """
     suppressed = ignored_rules(ignore)
+    graph = ProgramGraph.from_program(prog)
     report = LintReport()
     for check in _CHECKS:
-        report.extend(f for f in check(prog)
+        report.extend(f for f in check(prog, graph)
                       if f.rule_id not in suppressed)
     return report

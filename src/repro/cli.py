@@ -149,6 +149,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-run the winning config with provenance "
                              "capture and write its record (replayable "
                              "with `repro replay`)")
+    p_tune.add_argument("--warm-start", action="store_true",
+                        help="seed the hill climb at the compiled plan's "
+                             "config instead of the hand-tuned default "
+                             "(hill method only)")
+
+    p_plan = sub.add_parser(
+        "plan", help="compile a static execution plan for a sorting "
+                     "benchmark: fusion + geometry inferred from the "
+                     "hardware cost model, no cluster runs")
+    p_plan.add_argument("--sorter", default="dsort",
+                        choices=["dsort", "csort"])
+    p_plan.add_argument("--nodes", type=int, default=4)
+    p_plan.add_argument("--records-per-node", type=int, default=4096)
+    p_plan.add_argument("--record-bytes", type=int, default=16)
+    p_plan.add_argument("--no-fuse", action="store_true",
+                        help="plan geometry only; skip stage fusion "
+                             "when the plan is applied")
+    p_plan.add_argument("--explain", action="store_true",
+                        help="print every planning decision with its "
+                             "reason")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the serialized plan as JSON")
+    p_plan.add_argument("--out", metavar="PATH",
+                        help="write the serialized plan as JSON (load "
+                             "with Plan.from_json, or pass to "
+                             "run_sort(plan=...))")
 
     p_replay = sub.add_parser(
         "replay", help="re-execute a recorded run byte-exactly and "
@@ -541,7 +567,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.method == "adaptive":
         result = adaptive_tune_sort(args.sorter, **common)
     else:
-        result = tune_sort(args.sorter, method=args.method, **common)
+        result = tune_sort(args.sorter, method=args.method,
+                           warm_start=args.warm_start or None, **common)
     doc = result.to_json()
 
     print(f"{args.sorter} on {args.distribution}, {args.nodes} nodes x "
@@ -597,6 +624,34 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.plan import plan_sort
+
+    plan = plan_sort(args.sorter, args.nodes, args.records_per_node,
+                     record_bytes=args.record_bytes,
+                     fuse=not args.no_fuse)
+    doc = plan.to_json()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif args.explain:
+        print(plan.explain())
+    else:
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(plan.config.items()))
+        print(f"{plan.sorter} plan for {plan.n_nodes} nodes x "
+              f"{plan.n_per_node} records ({plan.record_bytes} B): {knobs}")
+        print(f"digest {doc['digest'][:16]}…  "
+              f"(apply with run_sort(plan=...), or `repro plan --explain` "
+              f"for the reasoning)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.check.runner import lint_paths
 
@@ -612,6 +667,7 @@ _COMMANDS = {
     "overlap": _cmd_overlap,
     "distributions": _cmd_distributions,
     "trace": _cmd_trace,
+    "plan": _cmd_plan,
     "tune": _cmd_tune,
     "replay": _cmd_replay,
     "analyze": _cmd_analyze,

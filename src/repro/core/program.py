@@ -166,6 +166,15 @@ class FGProgram:
         #: peer receive stages are not left waiting on a dead sender).
         self.on_pipeline_failure: Optional[
             Callable[[Stage, list[Pipeline], BaseException], None]] = None
+        #: the :class:`~repro.plan.plan.Plan` applied at start() (via
+        #: ``kernel.plan`` or a direct ``plan.apply(program)``); its
+        #: digest becomes part of the structural fingerprint
+        self.applied_plan: Optional[Any] = None
+        #: dynamic-pool deltas per pipeline id — buffers grown into /
+        #: retired from circulation after construction.  Part of the
+        #: program's structural identity (see repro.plan.ir).
+        self._pool_grown: dict[int, int] = {}
+        self._pool_retired: dict[int, int] = {}
         self._started = False
         self._procs: list[Process] = []
         # graceful-teardown state (see _stage_failed)
@@ -509,6 +518,7 @@ class FGProgram:
             return False
         self._retire_pending[id(p)] = pending - 1
         p.nbuffers -= 1
+        self._pool_retired[id(p)] = self._pool_retired.get(id(p), 0) + 1
         if self.sanitizer is not None:
             self.sanitizer.on_retire(p, buf)
         self.observer.pool_resized(p, -1, p.nbuffers)
@@ -821,6 +831,14 @@ class FGProgram:
         if self._started:
             raise PipelineStructureError("program already started")
         self._started = True
+        # the pipeline compiler runs between declaration and lint: a
+        # Plan installed on the kernel (run_sort(plan=...), or
+        # plan.install(kernel)) fuses fusable stage runs and stamps
+        # this program, so the lint pass and the structural fingerprint
+        # both see the *planned* graph
+        plan = getattr(self.kernel, "plan", None)
+        if plan is not None:
+            plan.apply(self)
         if self._lint_enabled:
             findings = self.lint()
             errors = [f for f in findings if f.is_error]
@@ -999,6 +1017,8 @@ class FGProgram:
             pool.append(buf)
             recycle.put(buf)
         pipeline.nbuffers += count
+        self._pool_grown[id(pipeline)] = (
+            self._pool_grown.get(id(pipeline), 0) + count)
         self.observer.pool_resized(pipeline, count, pipeline.nbuffers)
         return pipeline.nbuffers
 
@@ -1026,6 +1046,15 @@ class FGProgram:
         return granted
 
     # -- introspection -------------------------------------------------------------------------
+
+    def pool_deltas(self, pipeline: Pipeline) -> tuple[int, int]:
+        """``(grown, retired)`` buffer counts for a pipeline's dynamic
+        pool since construction — the state
+        :class:`repro.plan.ir.ProgramGraph` folds into the structural
+        fingerprint so a grown pool is not provenance-identical to a
+        declared one."""
+        return (self._pool_grown.get(id(pipeline), 0),
+                self._pool_retired.get(id(pipeline), 0))
 
     @property
     def finished(self) -> bool:

@@ -1,0 +1,215 @@
+"""Stage fusion: collapse adjacent cheap map stages.
+
+Every stage boundary costs a channel handoff — a ticketed enqueue, a
+wake-up, and one more concurrent buffer holder the pool must cover.  For
+a map stage that just transforms a buffer and passes it on, that
+overhead buys nothing: two adjacent maps compute the same composition a
+single stage would, only with an extra handoff between them.  TPIE's
+pipeline compiler makes the same move before execution; here the planner
+does it on the declared :class:`~repro.core.program.FGProgram` right
+before ``start()``.
+
+Fusion must never *reduce* overlap, so eligibility has two layers.
+
+A stage is **structurally fusable** only when fusing cannot change
+observable semantics:
+
+* map style with a real ``fn`` (full-control stages own their own
+  convey loop; source/sink drivers touch the pool),
+* not virtual (virtual stages share one thread and an unbounded group
+  queue across pipelines — fusing would change that sharing),
+* not declared in the pipeline's ``replicas`` mapping, even with count
+  one (replication rewires the stage onto a reorder channel +
+  sequencer),
+* owned by exactly one pipeline (intersecting stages are shared state),
+* not conveying the caboose itself (EOS declarers interact with
+  shutdown; detected through the same bytecode walk the linter uses).
+
+A *run* of structurally fusable stages is then **profitably fusable**
+only when its stages together touch at most one costed resource class
+(disk, network, CPU — the same classes behind
+:data:`repro.plan.geometry.RESOURCE_CLASSES`).  Keeping a disk-reading
+stage separate from a sorting stage is the whole point of the pipeline:
+the disk prefetches block *i+1* while the CPU sorts block *i*.  Fusing
+them would serialize the two resources and cost exactly the overlap FG
+exists to provide (measured: ~25% on csort).  A pure transform with no
+resource signature (tagging, filtering, reshaping) fuses freely into a
+neighbour of any class, and two stages on the *same* class fuse at zero
+overlap cost — they were serialized on that resource anyway.
+
+Resource signatures are read from the stage function's bytecode (the
+method and global names its code can reach, closure-following like the
+linter's EOS scan): ``read``/``write`` mark disk,
+``send``/``recv``/``alltoall``-style names mark network, and
+``compute``/``sort``-style names mark CPU.  The scan is deliberately
+conservative — an unrecognized name costs nothing, and a false *heavy*
+mark only forgoes a fusion, never breaks one.
+
+Fused stages get a composed ``fn`` and a flattened ``fused_from`` tuple
+recording the original names, so fusion is idempotent and the
+provenance fingerprint distinguishes a fused program from its original.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, FrozenSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.program import FGProgram
+
+__all__ = ["fusable_runs", "fuse_program", "resource_classes"]
+
+#: bytecode names that mark a stage as touching the disk arm
+_DISK_NAMES = frozenset({"read", "write", "disk_time", "disk"})
+#: ... the network interface
+_NET_NAMES = frozenset({"send", "recv", "alltoall", "sendrecv",
+                        "exchange", "bcast", "gather", "scatter",
+                        "wire_time"})
+#: ... a meaningful slice of CPU (model-charged compute or sorting)
+_CPU_NAMES = frozenset({"compute", "compute_sort", "compute_copy",
+                        "sort", "sorted", "argsort", "merge",
+                        "sort_time", "merge_time"})
+
+
+def resource_classes(fn: Callable[..., Any]) -> FrozenSet[str]:
+    """The costed resource classes ``fn``'s code can reach, as a subset
+    of ``{"disk", "net", "cpu"}`` (empty = pure cheap transform)."""
+    from repro.check.linter import _iter_code_objects
+
+    names: set[str] = set()
+    for code in _iter_code_objects(fn):
+        names.update(code.co_names)
+    classes = set()
+    if names & _DISK_NAMES:
+        classes.add("disk")
+    if names & _NET_NAMES:
+        classes.add("net")
+    if names & _CPU_NAMES:
+        classes.add("cpu")
+    return frozenset(classes)
+
+
+def _compose(f: Callable[..., Any],
+             g: Callable[..., Any]) -> Callable[..., Any]:
+    """Left-to-right composition with map-stage drop semantics: a stage
+    returning None consumes the buffer, so the rest of the run is
+    skipped for it."""
+
+    def fused(ctx: Any, buf: Any) -> Any:
+        out = f(ctx, buf)
+        if out is None:
+            return None
+        return g(ctx, out)
+
+    return fused
+
+
+def _shared_stage_ids(program: "FGProgram") -> set[int]:
+    owners: dict[int, int] = {}
+    for p in program.pipelines:
+        seen: set[int] = set()
+        for s in p.stages:
+            key = id(s)
+            if key in seen:
+                continue
+            seen.add(key)
+            owners[key] = owners.get(key, 0) + 1
+    return {key for key, count in owners.items() if count > 1}
+
+
+def _is_structurally_fusable(stage: Any, pipeline: Any,
+                             shared: set[int]) -> bool:
+    from repro.check.linter import _stage_declares_eos
+
+    if stage.style != "map" or stage.fn is None:
+        return False
+    if stage.virtual:
+        return False
+    if pipeline.replicas and stage.name in pipeline.replicas:
+        return False
+    if id(stage) in shared:
+        return False
+    if _stage_declares_eos(stage):
+        return False
+    return True
+
+
+def _runs_of(program: "FGProgram") -> list[tuple[Any, list[Any]]]:
+    """``(pipeline, [stages])`` for each maximal fusable run (length >= 2):
+    consecutive structurally fusable stages whose combined resource
+    signature stays within one class."""
+    shared = _shared_stage_ids(program)
+    runs: list[tuple[Any, list[Any]]] = []
+    for p in program.pipelines:
+        run: list[Any] = []
+        classes: FrozenSet[str] = frozenset()
+
+        def flush(p: Any, run: list[Any]) -> None:
+            if len(run) >= 2:
+                runs.append((p, list(run)))
+
+        for s in p.stages:
+            if not _is_structurally_fusable(s, p, shared):
+                flush(p, run)
+                run, classes = [], frozenset()
+                continue
+            merged = classes | resource_classes(s.fn)
+            if len(merged) > 1:
+                # s would add a second resource class: fusing it in
+                # would serialize two resources the pipeline overlaps
+                flush(p, run)
+                run, classes = [s], resource_classes(s.fn)
+                continue
+            run.append(s)
+            classes = merged
+        flush(p, run)
+    return runs
+
+
+def fusable_runs(program: "FGProgram") -> list[tuple[str, tuple[str, ...]]]:
+    """``(pipeline name, stage names)`` for each run
+    :func:`fuse_program` would fuse, without mutating anything."""
+    return [(p.name, tuple(s.name for s in run))
+            for p, run in _runs_of(program)]
+
+
+def fuse_program(program: "FGProgram") -> list[tuple[str, tuple[str, ...]]]:
+    """Fuse every profitable run of adjacent map stages, in place.
+
+    Returns the ``(pipeline name, original stage names)`` pairs that
+    were fused.  Running it again on the result is a no-op: a fused
+    stage has no fusable neighbour left, and ``fused_from`` is
+    flattened rather than nested.
+    """
+    from repro.core.stage import Stage
+
+    fused: list[tuple[str, tuple[str, ...]]] = []
+    by_pipeline: dict[int, list[list[Any]]] = {}
+    for p, run in _runs_of(program):
+        by_pipeline.setdefault(id(p), []).append(run)
+    for p in program.pipelines:
+        runs = by_pipeline.get(id(p))
+        if not runs:
+            continue
+        heads = {id(run[0]): run for run in runs}
+        absorbed = {id(s) for run in runs for s in run[1:]}
+        new_stages: list[Any] = []
+        for s in p.stages:
+            if id(s) in absorbed:
+                continue
+            run = heads.get(id(s))
+            if run is None:
+                new_stages.append(s)
+                continue
+            fn = run[0].fn
+            for nxt in run[1:]:
+                fn = _compose(fn, nxt.fn)
+            origins: list[str] = []
+            for st in run:
+                origins.extend(st.fused_from or (st.name,))
+            merged = Stage.map("+".join(st.name for st in run), fn)
+            merged.fused_from = tuple(origins)
+            new_stages.append(merged)
+            fused.append((p.name, tuple(st.name for st in run)))
+        p.stages[:] = new_stages
+    return fused

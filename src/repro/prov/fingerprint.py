@@ -9,10 +9,15 @@ Provenance records (:mod:`repro.prov.record`) need two kinds of identity:
   record against a later tree, and a digest mismatch plus a fingerprint
   mismatch says "a code change altered this run's behaviour".
 * **stage-graph fingerprint** — which pipeline structure a program
-  assembled.  Computed from the declared structure only (pipeline names,
-  stage names/styles/virtual groups, pool geometry, rounds, replica
-  declarations), never from runtime state, so the fingerprint of a
-  replayed program must equal the recorded one.
+  assembled.  Emitted from the shared graph IR
+  (:meth:`repro.plan.ir.ProgramGraph.canonical` — the same view the
+  linter and planner consume): pipeline names, stage
+  names/styles/virtual groups/fusion provenance, pool geometry
+  *including dynamic grow/retire deltas*, rounds, replica declarations,
+  intersecting-stage edges, and the digest of any applied plan.  Two
+  programs that can behave differently must fingerprint differently —
+  including a pool grown mid-run versus one declared at that size, and
+  a fused program versus its unfused original.
 
 Both are pure functions of their inputs; nothing here reads clocks or
 draws randomness.
@@ -86,32 +91,19 @@ def version_info() -> dict:
 
 
 def program_graph(program: "FGProgram") -> dict:
-    """The declared structure of one FG program, as pure data.
+    """The structure of one FG program, as pure data.
 
-    Captures exactly what :meth:`~repro.core.program.FGProgram.start`
-    assembles — pipelines, stages, pool geometry, replica declarations —
-    and nothing that varies at runtime.
+    Delegates to the shared graph IR — one code path for the linter,
+    the planner, and this fingerprint, so the three can never disagree
+    about what a program's structure *is*.  Covers everything
+    :meth:`~repro.core.program.FGProgram.start` assembles (pipelines,
+    stages, pool geometry, replica declarations, intersections) plus
+    the structural state PR 5 made dynamic: pool grow/retire deltas and
+    planner fusion provenance, with the applied plan's digest.
     """
-    pipelines = []
-    for p in program.pipelines:
-        stages = []
-        for s in p.stages:
-            entry: dict[str, Any] = {"name": s.name, "style": s.style}
-            if s.virtual:
-                entry["virtual_group"] = s.virtual_group
-            if p.is_replicated(s):
-                entry["replicas"] = p.replica_count(s)
-            stages.append(entry)
-        pipelines.append({
-            "name": p.name,
-            "stages": stages,
-            "nbuffers": p.nbuffers,
-            "buffer_bytes": p.buffer_bytes,
-            "rounds": p.rounds,
-            "aux_buffers": p.aux_buffers,
-            "channel_capacity": p.channel_capacity,
-        })
-    return {"name": program.name, "pipelines": pipelines}
+    from repro.plan.ir import ProgramGraph
+
+    return ProgramGraph.from_program(program).canonical()
 
 
 def stage_graph_fingerprint(program: "FGProgram") -> str:

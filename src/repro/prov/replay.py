@@ -94,6 +94,11 @@ def _replay_sort(record: ProvenanceRecord) -> ProvenanceRecord:
 
     a = dict(record.args)
     schema = RecordSchema(a.pop("record_bytes"))
+    plan_doc = a.pop("plan", None)
+    if plan_doc is not None:
+        from repro.plan import Plan
+
+        a["plan"] = Plan.from_json(plan_doc)
     run = run_sort(a.pop("sorter"), a.pop("distribution"), schema,
                    provenance=True, **a)
     assert run.provenance is not None

@@ -145,6 +145,10 @@ class Kernel:
         #: when non-None, every FG program that starts on this kernel
         #: reports its stage-graph fingerprint through its observer.
         self.provenance: Optional[Any] = None
+        #: optional execution plan (repro.plan.Plan); when non-None,
+        #: every FG program that starts on this kernel is compiled by
+        #: it (stage fusion + plan stamp) before the lint gate runs.
+        self.plan: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
 

@@ -41,26 +41,20 @@ _NBUFFERS = (2, 3, 4, 6, 8)
 _REPLICAS = (1, 2, 3, 4)
 
 
-def _pow2_between(lo: int, hi: int) -> list[int]:
-    out = []
-    v = 1
-    while v <= hi:
-        if v >= lo:
-            out.append(v)
-        v *= 2
-    return out
-
-
 def dsort_space(n_nodes: int, n_per_node: int) -> TuneSpace:
-    """Axes for dsort: pass-1 block size, pool size, sort replicas."""
+    """Axes for dsort: pass-1 block size, pool size, sort replicas.
+
+    The geometry ladder comes from the shared planner enumeration
+    (:func:`repro.plan.dsort_block_candidates`), so tuner and planner
+    search the same space by construction.
+    """
     from repro.bench.harness import default_dsort_config
+    from repro.plan.geometry import dsort_block_candidates
 
     n_total = n_nodes * n_per_node
     default = default_dsort_config(n_total, n_nodes)
-    blocks = set(_pow2_between(max(64, n_per_node // 16), n_per_node))
-    blocks.add(default.block_records)
     return TuneSpace([
-        Axis("block_records", tuple(sorted(blocks)),
+        Axis("block_records", dsort_block_candidates(n_nodes, n_per_node),
              default=default.block_records),
         Axis("nbuffers", _NBUFFERS, default=default.nbuffers),
         Axis("sort_replicas", _REPLICAS, default=default.sort_replicas),
@@ -68,34 +62,21 @@ def dsort_space(n_nodes: int, n_per_node: int) -> TuneSpace:
 
 
 def csort_space(n_nodes: int, n_per_node: int) -> TuneSpace:
-    """Axes for csort: column count, pool size, sort replicas."""
+    """Axes for csort: column count, pool size, sort replicas.
+
+    The legal column counts come from the shared planner enumeration
+    (:func:`repro.plan.csort_s_candidates`).
+    """
     from repro.bench.harness import default_csort_config
-    from repro.sorting.columnsort.steps import (
-        plan_columnsort,
-        validate_shape,
-    )
+    from repro.plan.geometry import csort_s_candidates
+    from repro.sorting.columnsort.steps import plan_columnsort
 
     n_total = n_nodes * n_per_node
     default = default_csort_config(n_total, n_nodes)
     plan = plan_columnsort(n_total, n_nodes)
-    valid_s = []
-    s = n_nodes
-    while 2 * (s - 1) ** 2 <= n_total // max(s, 1):
-        if n_total % s == 0:
-            r = n_total // s
-            try:
-                validate_shape(n_total, r, s, n_nodes)
-            except Exception:
-                pass
-            else:
-                # run_csort additionally needs P*out_block <= r
-                if default.out_block_records * n_nodes <= r:
-                    valid_s.append(s)
-        s += n_nodes
-    if plan.s not in valid_s:
-        valid_s.append(plan.s)
     return TuneSpace([
-        Axis("s_override", tuple(sorted(valid_s)), default=plan.s),
+        Axis("s_override", csort_s_candidates(n_nodes, n_per_node),
+             default=plan.s),
         Axis("nbuffers", _NBUFFERS, default=default.nbuffers),
         Axis("sort_replicas", _REPLICAS, default=default.sort_replicas),
     ])
@@ -134,20 +115,50 @@ def sort_evaluator(sorter: str, distribution: str = "uniform",
     return evaluate
 
 
+def _warm_start_config(space: TuneSpace, plan) -> dict:
+    """Snap a plan's config onto the space's axes (nearest legal value
+    per axis; axes the plan does not set keep their default)."""
+    config = space.default_config()
+    for axis in space.axes:
+        if axis.name not in plan.config:
+            continue
+        want = plan.config[axis.name]
+        config[axis.name] = min(
+            axis.values, key=lambda v: (abs(v - want), v))
+    return config
+
+
 def tune_sort(sorter: str, distribution: str = "uniform", schema=None,
               n_nodes: int = 4, n_per_node: int = 4096, seed: int = 0,
-              method: str = "hill") -> TuneResult:
+              method: str = "hill", warm_start=None) -> TuneResult:
     """Offline-tune one sorting benchmark; returns the search result.
 
     ``method`` is ``"hill"`` (deterministic coordinate descent, the
     default) or ``"grid"`` (exhaustive; exact but much slower).
+
+    ``warm_start`` seeds the hill climb at a compiled plan's config
+    instead of the hand-tuned default: pass a
+    :class:`repro.plan.Plan`, or ``True`` to compile one on the spot.
+    When the planner's analytic optimum is at or near the true optimum
+    the climb converges in a fraction of the evaluations.
     """
     space = _space_for(sorter, n_nodes, n_per_node)
     evaluate = sort_evaluator(sorter, distribution, schema,
                               n_nodes=n_nodes, n_per_node=n_per_node,
                               seed=seed)
+    start = None
+    if warm_start is not None and warm_start is not False:
+        if warm_start is True:
+            from repro.plan import plan_sort
+            from repro.pdm.records import RecordSchema
+
+            record_bytes = (schema.record_bytes if schema is not None
+                            else RecordSchema.paper_16().record_bytes)
+            warm_start = plan_sort(sorter, n_nodes, n_per_node,
+                                   record_bytes=record_bytes)
+        start = _warm_start_config(space, warm_start)
     if method == "hill":
-        return hill_climb(evaluate, space)
+        return hill_climb(evaluate, space, start=start)
     if method == "grid":
         return grid_search(evaluate, space)
     raise ReproError(f"unknown tune method {method!r}; "

@@ -63,6 +63,29 @@ def test_fg101_clean_when_pool_matches_depth():
     assert not findings_for(prog, "FG101")
 
 
+def test_fg101_counts_replica_expanded_depth():
+    """Regression: a stage declared with N replicas runs as N copies plus
+    a sequencer — 3 declared stages with ``replicas={"b": 3}`` are 6
+    concurrent buffer holders, not 3.  The pre-IR check compared the pool
+    against ``len(stages)`` and stayed silent here."""
+    def build(nbuffers):
+        prog = fresh_prog()
+        prog.add_pipeline("p", [Stage.map("a", ok_map),
+                                Stage.map("b", ok_map),
+                                Stage.map("c", ok_map)],
+                          nbuffers=nbuffers, buffer_bytes=8, rounds=4,
+                          replicas={"b": 3})
+        return prog
+
+    (f,) = findings_for(build(nbuffers=4), "FG101")
+    assert f.severity is Severity.WARNING
+    assert f.pipeline == "p"
+    assert "replica" in f.message
+    # a pool covering the expanded depth (3 stages -> 2 + 3 copies
+    # + sequencer = 6 holders) is clean
+    assert not findings_for(build(nbuffers=6), "FG101")
+
+
 # -- FG102 stage-order cycle -------------------------------------------------
 
 def test_fg102_flags_inconsistent_shared_stage_order():
@@ -255,6 +278,43 @@ def test_fg108_ignores_unbounded_channels():
     s, t = shared_pair()
     prog.add_pipeline("p", [s, t], nbuffers=4, buffer_bytes=8, rounds=1)
     prog.add_pipeline("q", [s, t], nbuffers=4, buffer_bytes=8, rounds=1)
+    assert not findings_for(prog, "FG108")
+
+
+def test_fg108_rendezvous_edges_park_nothing():
+    """Regression: a capacity-0 rendezvous edge parks *zero* buffers (the
+    producer blocks still holding its own), so a 3-stage chain at
+    capacity 0 absorbs exactly the one buffer the middle stage holds.
+    The pre-IR formula (``hops * cap + (hops - 1)``) got plain chains
+    right; this pins the edge-wise model's cap-0 arithmetic."""
+    def build(nbuffers):
+        prog = fresh_prog()
+        s, t = shared_pair()
+        prog.add_pipeline("p", [s, Stage.map("m", ok_map), t],
+                          nbuffers=nbuffers, buffer_bytes=8, rounds=1,
+                          channel_capacity=0)
+        prog.add_pipeline("q", [s, t], nbuffers=2, buffer_bytes=8,
+                          rounds=1)
+        return prog
+
+    (f,) = findings_for(build(nbuffers=2), "FG108")
+    assert f.is_error
+    assert "wait-for" in f.message
+    assert not findings_for(build(nbuffers=1), "FG108")
+
+
+def test_fg108_reorder_channel_absorbs_the_pool():
+    """Regression: the unbounded reorder channel behind a replicated
+    stage can absorb the whole pool, so a bounded chain through a
+    replicated intermediate cannot deadlock on parking space.  The
+    pre-IR analysis priced every edge at ``channel_capacity`` and
+    flagged this program (pool 4 > hops*cap + intermediates = 3)."""
+    prog = fresh_prog()
+    s, t = shared_pair()
+    prog.add_pipeline("p", [s, Stage.map("work", ok_map), t],
+                      nbuffers=4, buffer_bytes=8, rounds=4,
+                      channel_capacity=1, replicas={"work": 2})
+    prog.add_pipeline("q", [s, t], nbuffers=4, buffer_bytes=8, rounds=4)
     assert not findings_for(prog, "FG108")
 
 

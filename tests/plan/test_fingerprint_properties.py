@@ -1,0 +1,112 @@
+"""Fingerprint properties over the shared IR.
+
+Two programs that can behave differently must fingerprint differently —
+including the PR-5 dynamic structure (pools grown or retired mid-run)
+and the planner's rewrites (fusion, applied plan).  And the pipeline
+lint -> plan -> lint must be a fixed point: the planner never produces a
+program the linter would then complain about.
+"""
+
+import numpy as np
+
+from repro.check import lint_program
+from repro.core import FGProgram, Stage
+from repro.plan import fuse_program
+from repro.prov import stage_graph_fingerprint
+from repro.sim import VirtualTimeKernel
+
+
+def ok_map(ctx, buf):
+    return buf
+
+
+def build(*, nbuffers=3, channel_capacity=None, replicas=None,
+          rounds=4, extra=False):
+    prog = FGProgram(VirtualTimeKernel(), name="fp-prop")
+
+    def fill(ctx, buf):
+        buf.put(np.zeros(4, dtype=np.uint8))
+        return buf
+
+    stages = [Stage.map("fill", fill), Stage.map("work", ok_map),
+              Stage.map("sink", ok_map)]
+    if extra:
+        stages.append(Stage.map("tail", ok_map))
+    prog.add_pipeline("p", stages, nbuffers=nbuffers, buffer_bytes=16,
+                      rounds=rounds, channel_capacity=channel_capacity,
+                      replicas=replicas)
+    return prog
+
+
+def test_identical_constructions_fingerprint_identically():
+    assert stage_graph_fingerprint(build()) == stage_graph_fingerprint(
+        build())
+
+
+def test_any_single_geometry_change_changes_the_fingerprint():
+    base = stage_graph_fingerprint(build())
+    variants = [
+        build(nbuffers=4),
+        build(channel_capacity=2),
+        build(replicas={"work": 2}),
+        build(rounds=5),
+        build(extra=True),
+    ]
+    prints = [stage_graph_fingerprint(v) for v in variants]
+    assert base not in prints
+    assert len(set(prints)) == len(prints)  # all pairwise distinct
+
+
+def test_replica_count_is_part_of_the_identity():
+    assert (stage_graph_fingerprint(build(replicas={"work": 2}))
+            != stage_graph_fingerprint(build(replicas={"work": 3})))
+
+
+def _run_growing(nbuffers, grow):
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="fp-prop")
+
+    def fill(ctx, buf):
+        kernel.sleep(0.01)
+        buf.put(np.zeros(4, dtype=np.uint8))
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("fill", fill),
+                            Stage.map("sink", ok_map)],
+                      nbuffers=nbuffers, buffer_bytes=16, rounds=8)
+
+    def grower():
+        kernel.sleep(0.02)
+        if grow:
+            prog.add_buffers(prog.pipelines[0], grow)
+
+    kernel.spawn(prog.run, name="driver")
+    kernel.spawn(grower, name="grower")
+    kernel.run()
+    return prog
+
+
+def test_grown_pool_is_not_identical_to_a_declared_one():
+    declared = _run_growing(nbuffers=4, grow=0)
+    grown = _run_growing(nbuffers=2, grow=2)
+    assert declared.pipelines[0].nbuffers == grown.pipelines[0].nbuffers
+    assert (stage_graph_fingerprint(declared)
+            != stage_graph_fingerprint(grown))
+
+
+def test_growing_changes_the_fingerprint_of_the_same_declaration():
+    plain = _run_growing(nbuffers=2, grow=0)
+    grown = _run_growing(nbuffers=2, grow=2)
+    assert stage_graph_fingerprint(plain) != stage_graph_fingerprint(grown)
+
+
+def test_lint_plan_lint_is_a_fixed_point():
+    prog = build()
+    assert list(lint_program(prog)) == []
+    fused = fuse_program(prog)
+    assert fused  # the three cheap maps collapse
+    assert list(lint_program(prog)) == []
+    # and planning again neither rewrites nor changes the identity
+    after = stage_graph_fingerprint(prog)
+    assert fuse_program(prog) == []
+    assert stage_graph_fingerprint(prog) == after

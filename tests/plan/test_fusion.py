@@ -1,0 +1,246 @@
+"""Stage-fusion tests: eligibility, the resource-class guard,
+idempotence, and runtime equivalence of fused vs. unfused programs."""
+
+import numpy as np
+
+from repro.core import FGProgram, Stage
+from repro.plan import fusable_runs, fuse_program
+from repro.plan.fuse import resource_classes
+from repro.prov import stage_graph_fingerprint
+from repro.sim import VirtualTimeKernel
+
+
+def fresh_prog(**kwargs):
+    return FGProgram(VirtualTimeKernel(), name="fusee", **kwargs)
+
+
+def cheap(ctx, buf):
+    return buf
+
+
+# -- resource-class detection ------------------------------------------------
+
+def test_resource_classes_of_pure_transform_is_empty():
+    def tag(ctx, buf):
+        buf.tags["seen"] = True
+        return buf
+
+    assert resource_classes(tag) == frozenset()
+
+
+def test_resource_classes_sees_disk_net_cpu_names():
+    def reader(ctx, buf):
+        ctx.disk.read(buf)
+        return buf
+
+    def shuffler(ctx, buf):
+        ctx.net.alltoall(buf)
+        return buf
+
+    def sorter(ctx, buf):
+        ctx.compute_sort(buf)
+        return buf
+
+    assert resource_classes(reader) == frozenset({"disk"})
+    assert resource_classes(shuffler) == frozenset({"net"})
+    assert resource_classes(sorter) == frozenset({"cpu"})
+
+
+def test_resource_classes_follows_closures():
+    def helper(ctx, buf):
+        ctx.disk.write(buf)
+
+    def stage_fn(ctx, buf):
+        helper(ctx, buf)
+        return buf
+
+    assert "disk" in resource_classes(stage_fn)
+
+
+# -- eligibility -------------------------------------------------------------
+
+def test_adjacent_cheap_maps_form_one_run():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map(n, cheap) for n in "abc"],
+                      nbuffers=3, buffer_bytes=8, rounds=2)
+    assert fusable_runs(prog) == [("p", ("a", "b", "c"))]
+
+
+def test_mixed_resource_classes_do_not_fuse():
+    """A disk stage next to a CPU stage must stay separate: fusing them
+    serializes the overlap the pipeline exists to provide."""
+    def reader(ctx, buf):
+        ctx.disk.read(buf)
+        return buf
+
+    def sorter(ctx, buf):
+        ctx.compute_sort(buf)
+        return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("read", reader),
+                            Stage.map("sort", sorter)],
+                      nbuffers=2, buffer_bytes=8, rounds=2)
+    assert fusable_runs(prog) == []
+
+
+def test_same_resource_class_fuses():
+    def reader(ctx, buf):
+        ctx.disk.read(buf)
+        return buf
+
+    def writer(ctx, buf):
+        ctx.disk.write(buf)
+        return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("read", reader),
+                            Stage.map("write", writer)],
+                      nbuffers=2, buffer_bytes=8, rounds=2)
+    assert fusable_runs(prog) == [("p", ("read", "write"))]
+
+
+def test_pure_transform_fuses_into_a_heavy_neighbour():
+    def reader(ctx, buf):
+        ctx.disk.read(buf)
+        return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("read", reader),
+                            Stage.map("tag", cheap)],
+                      nbuffers=2, buffer_bytes=8, rounds=2)
+    assert fusable_runs(prog) == [("p", ("read", "tag"))]
+
+
+def test_full_virtual_replicated_and_shared_stages_break_runs():
+    prog = fresh_prog()
+    shared = Stage.map("shared", cheap)
+    prog.add_pipeline("p", [Stage.map("a", cheap),
+                            Stage.source_driven("full", lambda ctx: None),
+                            Stage.map("b", cheap),
+                            Stage.map("v", cheap, virtual=True),
+                            Stage.map("c", cheap),
+                            Stage.map("r", cheap),
+                            Stage.map("d", cheap),
+                            shared],
+                      nbuffers=8, buffer_bytes=8, rounds=2,
+                      replicas={"r": 2})
+    prog.add_pipeline("q", [shared], nbuffers=1, buffer_bytes=8, rounds=2)
+    # every breaker splits the chain into runs of length 1 -> nothing
+    # reaches the >= 2 threshold except none
+    assert fusable_runs(prog) == []
+
+
+# -- fuse_program ------------------------------------------------------------
+
+def test_fuse_program_merges_names_and_provenance():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map(n, cheap) for n in "abc"],
+                      nbuffers=3, buffer_bytes=8, rounds=2)
+    fused = fuse_program(prog)
+    assert fused == [("p", ("a", "b", "c"))]
+    (stage,) = prog.pipelines[0].stages
+    assert stage.name == "a+b+c"
+    assert stage.fused_from == ("a", "b", "c")
+
+
+def test_fuse_program_is_idempotent():
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map(n, cheap) for n in "ab"],
+                      nbuffers=2, buffer_bytes=8, rounds=2)
+    assert fuse_program(prog)
+    before = stage_graph_fingerprint(prog)
+    assert fuse_program(prog) == []
+    assert stage_graph_fingerprint(prog) == before
+
+
+def test_fusion_changes_the_structural_fingerprint():
+    def build():
+        prog = fresh_prog()
+        prog.add_pipeline("p", [Stage.map(n, cheap) for n in "ab"],
+                          nbuffers=2, buffer_bytes=8, rounds=2)
+        return prog
+
+    unfused = build()
+    fused = build()
+    fuse_program(fused)
+    assert (stage_graph_fingerprint(unfused)
+            != stage_graph_fingerprint(fused))
+
+
+def _run_collecting(prog, collected):
+    kernel = prog.kernel
+    kernel.spawn(prog.run, name="driver")
+    kernel.run()
+    return list(collected)
+
+
+def _transform_program(*, fuse):
+    """[fill -> inc -> dbl -> collect], all cheap maps -> one fused stage."""
+    prog = fresh_prog()
+    out = []
+
+    def fill(ctx, buf):
+        buf.put(np.full(4, buf.round, dtype=np.int64))
+        return buf
+
+    def inc(ctx, buf):
+        buf.view(np.int64)[:] += 1
+        return buf
+
+    def dbl(ctx, buf):
+        buf.view(np.int64)[:] *= 2
+        return buf
+
+    def collect(ctx, buf):
+        out.append(int(buf.view(np.int64)[0]))
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("fill", fill), Stage.map("inc", inc),
+                            Stage.map("dbl", dbl),
+                            Stage.map("collect", collect)],
+                      nbuffers=4, buffer_bytes=32, rounds=5)
+    if fuse:
+        assert fuse_program(prog)
+    return prog, out
+
+
+def test_fused_program_computes_the_same_results():
+    plain_prog, plain_out = _transform_program(fuse=False)
+    fused_prog, fused_out = _transform_program(fuse=True)
+    assert _run_collecting(plain_prog, plain_out) == [
+        (r + 1) * 2 for r in range(5)]
+    assert (_run_collecting(fused_prog, fused_out)
+            == [(r + 1) * 2 for r in range(5)])
+    assert len(fused_prog.pipelines[0].stages) == 1
+
+
+def test_fused_composition_preserves_drop_semantics():
+    """A stage returning None consumes the buffer; the fused composition
+    must short-circuit instead of calling the next fn with None."""
+    def build(fuse):
+        prog = fresh_prog()
+        out = []
+
+        def fill(ctx, buf):
+            buf.put(np.full(2, buf.round, dtype=np.int64))
+            return buf
+
+        def drop_odd(ctx, buf):
+            return buf if buf.round % 2 == 0 else None
+
+        def collect(ctx, buf):
+            out.append(buf.round)
+            return buf
+
+        prog.add_pipeline("p", [Stage.map("fill", fill),
+                                Stage.map("drop", drop_odd),
+                                Stage.map("collect", collect)],
+                          nbuffers=3, buffer_bytes=16, rounds=6)
+        if fuse:
+            assert fuse_program(prog)
+        return prog, out
+
+    for fuse in (False, True):
+        prog, out = build(fuse)
+        assert _run_collecting(prog, out) == [0, 2, 4]
