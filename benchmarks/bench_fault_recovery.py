@@ -12,18 +12,49 @@ levels:
   all absorbed by retry/backoff inside the pass;
 * **restart** — the transient mix plus one permanent disk fault that
   kills a pass-1 pipeline and forces a cluster-wide pass restart.
+
+It then quantifies the fine-grained recovery layer (``repro.recover``)
+against its acceptance gates:
+
+* **checkpoint resume** — a crash at 80% of pass 2 recovers by
+  re-running only the blocks that never became durable; the recovery
+  overhead (faulted − clean, same config) must be ≤ 25% of what the
+  legacy full-pass-restart path pays;
+* **speculation** — a 3x straggler with speculative backup execution
+  enabled finishes ≥ 1.5x faster than the same straggler without it;
+* **byte identity** — clean, faulted, and provenance-replayed runs all
+  produce the identical sorted output.
 """
 
 from conftest import save_result
 
 from repro.bench.reporting import render_table
 from repro.faults import FaultPlan, chaos_plan, run_chaos_dsort
+from repro.prov import replay
+from repro.recover import RecoverPolicy, SpeculationPolicy
 
 NODES = 3
 RECORDS = 1500
 SEED = 42
 SIZES = dict(block_records=128, vertical_block_records=64,
              out_block_records=128, oversample=8)
+
+#: checkpoint-resume scenario: big enough that a rank owns hundreds of
+#: output pieces, so "resume from the durable prefix" visibly beats
+#: "re-run the pass from scratch"
+CK_RECORDS = 25600
+CK_SIZES = dict(block_records=1024, vertical_block_records=256,
+                out_block_records=64, oversample=8)
+#: bounded mailboxes give the checkpointed run backpressure: durable
+#: progress then tracks merge progress instead of lagging behind an
+#: unbounded in-flight queue (the legacy path has no drain protocol and
+#: would deadlock under a bound, so it keeps the default)
+CK_MAILBOX_BYTES = 8 * 64 * 16
+
+#: speculation scenario: read-heavy merge geometry — plenty of seek work
+#: a backup merge on the buddy node can take over
+SPEC_SIZES = dict(block_records=256, vertical_block_records=64,
+                  out_block_records=256)
 
 
 def _run(plan):
@@ -74,3 +105,149 @@ def test_fault_recovery_overhead(once):
     # recovery costs time, and more faults cost more of it
     assert transient.elapsed > baseline.elapsed
     assert restart.elapsed > transient.elapsed
+
+
+def _crash_at(clean, rank, frac):
+    """A permanent disk fault aimed at ``frac`` of ``rank``'s pass 2.
+
+    The window is aimed from the *same configuration's* clean run (the
+    per-rank phase timings in ``rank_times``), so legacy and
+    checkpointed variants each crash at 80% of their own pass 2.
+    """
+    rt = next(t for t in clean.rank_times if t["rank"] == rank)
+    at = rt["sampling"] + rt["pass1"] + frac * rt["pass2"]
+    return FaultPlan(seed=SEED).with_disk_faults(
+        rate=1.0, rank=rank, permanent=True, start=at, end=at + 0.04)
+
+
+def checkpoint_resume_experiment():
+    def run(plan, recover=None, mbox=None):
+        return run_chaos_dsort(n_nodes=NODES, records_per_node=CK_RECORDS,
+                               seed=SEED, plan=plan, pass_retries=3,
+                               recover=recover,
+                               mailbox_capacity_bytes=mbox, **CK_SIZES)
+
+    legacy_clean = run(FaultPlan(seed=SEED))
+    ck_clean = run(FaultPlan(seed=SEED), recover=RecoverPolicy(),
+                   mbox=CK_MAILBOX_BYTES)
+    legacy_faulted = run(_crash_at(legacy_clean, rank=1, frac=0.8))
+    ck_faulted = run(_crash_at(ck_clean, rank=1, frac=0.8),
+                     recover=RecoverPolicy(), mbox=CK_MAILBOX_BYTES)
+    return legacy_clean, legacy_faulted, ck_clean, ck_faulted
+
+
+def test_checkpoint_resume_beats_full_pass_restart(once):
+    legacy_clean, legacy_faulted, ck_clean, ck_faulted = once(
+        checkpoint_resume_experiment)
+
+    full_restart = legacy_faulted.elapsed - legacy_clean.elapsed
+    resume = ck_faulted.elapsed - ck_clean.elapsed
+    ratio = resume / full_restart
+
+    rows = [
+        ["full pass restart", legacy_clean.elapsed, legacy_faulted.elapsed,
+         full_restart, ""],
+        ["block checkpoints", ck_clean.elapsed, ck_faulted.elapsed,
+         resume, f"{ratio:.2f}"],
+    ]
+    save_result(
+        "checkpoint_resume",
+        f"crash at 80% of pass 2 ({NODES} nodes, {NODES * CK_RECORDS} "
+        f"records, seed {SEED})\n"
+        + render_table(
+            ["recovery mode", "clean s", "faulted s", "overhead s",
+             "vs restart"], rows))
+
+    # both variants actually crashed and re-ran the pass
+    assert legacy_faulted.pass_restarts >= 1
+    assert ck_faulted.pass_restarts >= 1
+    # the retry resumed from journaled blocks instead of starting over
+    resumes = [d for d in ck_faulted.recovery_decisions
+               if d["kind"] == "resume"]
+    assert resumes, ck_faulted.recovery_decisions
+    # correctness: byte-identical output on every path
+    assert ck_faulted.verified and legacy_faulted.verified
+    assert (legacy_clean.output_digest == legacy_faulted.output_digest
+            == ck_clean.output_digest == ck_faulted.output_digest)
+    # the acceptance gate: recovery overhead <= 25% of a full restart
+    assert ratio <= 0.25, (resume, full_restart, ratio)
+
+
+def speculation_experiment():
+    spec_policy = RecoverPolicy(
+        checkpoint=False, backup_runs=True,
+        speculation=SpeculationPolicy(interval=0.01, patience=2,
+                                      min_progress=0.02))
+
+    def run(plan, recover):
+        return run_chaos_dsort(seed=SEED, plan=plan, recover=recover,
+                               **SPEC_SIZES)
+
+    clean = run(FaultPlan(seed=SEED), RecoverPolicy(checkpoint=False))
+    straggle = FaultPlan(seed=SEED).with_straggler(
+        rank=1, slowdown=3.0, start=0.5 * clean.elapsed)
+    base = run(straggle, RecoverPolicy(checkpoint=False))
+    spec = run(straggle, spec_policy)
+    return clean, base, spec
+
+
+def test_speculation_beats_the_straggler(once):
+    clean, base, spec = once(speculation_experiment)
+
+    speedup = base.elapsed / spec.elapsed
+    rows = [
+        ["no straggler", clean.elapsed, ""],
+        ["3x straggler, no speculation", base.elapsed, ""],
+        ["3x straggler, speculation", spec.elapsed, f"{speedup:.2f}x"],
+    ]
+    save_result(
+        "speculation",
+        f"speculative backup execution (3 nodes, seed {SEED})\n"
+        + render_table(["run", "simulated s", "speedup"], rows))
+
+    # the watcher fired and a backup won the race
+    kinds = [d["kind"] for d in spec.recovery_decisions]
+    assert "speculate" in kinds, spec.recovery_decisions
+    assert "winner" in kinds
+    # correctness: whoever wins, the bytes match the clean run
+    assert spec.verified
+    assert spec.output_digest == clean.output_digest
+    assert base.output_digest == clean.output_digest
+    # the acceptance gate: speculation pays >= 1.5x on a 3x straggler
+    assert speedup >= 1.5, (base.elapsed, spec.elapsed, speedup)
+
+
+def replay_identity_experiment():
+    clean = run_chaos_dsort(seed=SEED, plan=FaultPlan(seed=SEED),
+                            recover=RecoverPolicy(), **SPEC_SIZES)
+    at = 0.6 * clean.elapsed
+    plan = FaultPlan(seed=SEED).with_disk_faults(
+        rate=1.0, rank=1, permanent=True, start=at, end=at + 0.04)
+    faulted = run_chaos_dsort(seed=SEED, plan=plan,
+                              recover=RecoverPolicy(), **SPEC_SIZES)
+    replayed = replay(faulted.provenance)
+    return clean, faulted, replayed
+
+
+def test_output_identical_across_clean_faulted_replayed(once):
+    clean, faulted, replayed = once(replay_identity_experiment)
+
+    rows = [
+        ["clean", clean.output_digest[:16]],
+        ["faulted", faulted.output_digest[:16]],
+        ["replayed", replayed.replayed.digests["output"][:16]],
+    ]
+    save_result(
+        "recovery_replay_identity",
+        f"output digests across recovery paths (seed {SEED})\n"
+        + render_table(["run", "output digest (prefix)"], rows))
+
+    # the fault actually hit and the recovery layer handled it
+    assert faulted.fault_summary["total"] > 0
+    assert faulted.verified and clean.verified
+    # clean == faulted: faults cost time, never bytes
+    assert faulted.output_digest == clean.output_digest
+    # replayed == faulted: provenance replay reproduces every digest
+    # (output, metrics, trace) byte-for-byte
+    assert replayed.ok, replayed.matches
+    assert replayed.replayed.digests["output"] == faulted.output_digest

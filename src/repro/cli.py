@@ -88,11 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a metrics-registry snapshot JSON")
 
     p_chaos = sub.add_parser(
-        "chaos", help="run dsort under seeded fault injection "
+        "chaos", help="run a sorter under seeded fault injection "
                       "(verified, with recovery stats)")
+    p_chaos.add_argument("--sorter", choices=("dsort", "csort"),
+                         default="dsort",
+                         help="which sorter to chaos-test (csort has no "
+                              "recovery manager: transient faults only)")
     p_chaos.add_argument("--nodes", type=int, default=3)
-    p_chaos.add_argument("--records-per-node", type=int, default=2000)
+    p_chaos.add_argument("--records-per-node", type=int, default=None,
+                         help="records per node (default 2000 for dsort, "
+                              "1728 for csort)")
     p_chaos.add_argument("--seed", type=int, default=1234)
+    p_chaos.add_argument("--recover", action="store_true",
+                         help="dsort only: run under the fine-grained "
+                              "recovery manager (block checkpoints, "
+                              "backup runs, partition re-assignment)")
+    p_chaos.add_argument("--speculate", action="store_true",
+                         help="dsort only: also launch speculative "
+                              "backup merges for stragglers "
+                              "(implies --recover)")
     p_chaos.add_argument("--disk-fault-rate", type=float, default=0.02,
                          help="per-op transient disk-fault probability")
     p_chaos.add_argument("--drop-rate", type=float, default=0.01,
@@ -514,7 +528,20 @@ def _run_dsort_workload(kernel, args) -> list:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults import chaos_plan, run_chaos_dsort
+    from repro.faults import chaos_plan, run_chaos_csort, run_chaos_dsort
+
+    if args.sorter == "csort" and (args.recover or args.speculate):
+        print("error: --recover/--speculate need the dsort recovery "
+              "manager; csort chaos covers the transient fault model "
+              "only", file=sys.stderr)
+        return 2
+    recover = None
+    if args.recover or args.speculate:
+        from repro.recover import RecoverPolicy, SpeculationPolicy
+
+        recover = RecoverPolicy(
+            checkpoint=True, backup_runs=True, reassign=True,
+            speculation=SpeculationPolicy() if args.speculate else None)
 
     def make_plan():
         return chaos_plan(args.seed, args.nodes,
@@ -526,14 +553,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                           permanent_disk_rank=args.kill_disk_rank)
 
     def run(trace_path=None):
+        if args.sorter == "csort":
+            rpn = (args.records_per_node
+                   if args.records_per_node is not None else 1728)
+            return run_chaos_csort(n_nodes=args.nodes,
+                                   records_per_node=rpn,
+                                   seed=args.seed, plan=make_plan(),
+                                   out_block_records=args.block_records,
+                                   trace_path=trace_path)
+        rpn = (args.records_per_node
+               if args.records_per_node is not None else 2000)
         return run_chaos_dsort(n_nodes=args.nodes,
-                               records_per_node=args.records_per_node,
+                               records_per_node=rpn,
                                seed=args.seed, plan=make_plan(),
                                pass_retries=args.pass_retries,
                                block_records=args.block_records,
                                vertical_block_records=max(
                                    1, args.block_records // 2),
                                out_block_records=args.block_records,
+                               recover=recover,
                                trace_path=trace_path)
 
     report = run(trace_path=args.trace_out)

@@ -45,7 +45,8 @@ class Pipeline:
                  rounds: Optional[int] = None,
                  aux_buffers: bool = False,
                  channel_capacity: Optional[int] = None,
-                 replicas: Optional[Mapping[str, int]] = None) -> None:
+                 replicas: Optional[Mapping[str, int]] = None,
+                 role: Optional[str] = None) -> None:
         if not stages:
             raise PipelineStructureError(
                 f"pipeline {name!r} needs at least one stage")
@@ -115,6 +116,13 @@ class Pipeline:
         #: for memory determinism; the FG108 lint rule proves when a
         #: bound combined with intersecting stages is deadlock-prone.
         self.channel_capacity = channel_capacity
+        #: why this pipeline exists, when it is not ordinary program
+        #: structure: the recovery manager marks speculative backup
+        #: chains "backup" and re-assigned partition chains "adopted",
+        #: so structural analyses (FG108 parking, provenance
+        #: fingerprints) can tell recovery machinery from the program
+        #: proper.  None for ordinary pipelines.
+        self.role = role
 
     def replica_count(self, stage: Stage) -> int:
         """Declared replica count for ``stage`` (1 when not replicated)."""

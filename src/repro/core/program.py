@@ -204,7 +204,8 @@ class FGProgram:
                      rounds: Optional[int] = None,
                      aux_buffers: bool = False,
                      channel_capacity: Optional[int] = None,
-                     replicas: Optional[Mapping[str, int]] = None
+                     replicas: Optional[Mapping[str, int]] = None,
+                     role: Optional[str] = None
                      ) -> Pipeline:
         """Describe a pipeline; FG adds the source and sink itself.
 
@@ -222,7 +223,7 @@ class FGProgram:
                             buffer_bytes=buffer_bytes, rounds=rounds,
                             aux_buffers=aux_buffers,
                             channel_capacity=channel_capacity,
-                            replicas=replicas)
+                            replicas=replicas, role=role)
         self.pipelines.append(pipeline)
         return pipeline
 
@@ -321,19 +322,23 @@ class FGProgram:
             pipes = group.pipelines
             for other in pipes[1:]:
                 union(id(pipes[0]), id(other))
-        by_id = {id(p): p for p in self.pipelines}
         virtual_pids = {id(p) for g in self._groups.values()
                         for p in g.pipelines}
         roots: dict[int, Family] = {}
         self._families = []
-        for pid in virtual_pids:
-            root = find(pid)
+        # walk in pipeline-definition order: family numbering (and hence
+        # channel names, thread names, traces) must not depend on id()
+        # hashes
+        for p in self.pipelines:
+            if id(p) not in virtual_pids:
+                continue
+            root = find(id(p))
             family = roots.get(root)
             if family is None:
                 family = Family()
                 roots[root] = family
                 self._families.append(family)
-            family.pipelines.append(by_id[pid])
+            family.pipelines.append(p)
 
     def _family_of(self, pipeline: Pipeline) -> Optional[Family]:
         for family in self._families:

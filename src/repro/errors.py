@@ -147,6 +147,18 @@ class StageError(FGError):
     """A stage misused its context (accept after caboose, bad convey, ...)."""
 
 
+class SpeculationLost(FGError):
+    """A speculative backup race was decided against this contender.
+
+    Raised *by* a merge stage (primary or backup) when the recovery
+    manager declares the other contender the winner of a pass range.
+    It rides the normal stage-failure path — the loser's pipelines are
+    poisoned and their buffers drained through the standard teardown —
+    and :func:`repro.sorting.dsort.dsort.run_dsort` treats a
+    :class:`PipelineFailed` whose causes are all ``SpeculationLost`` as
+    a successful pass (the winner's output is already durable)."""
+
+
 class LintError(FGError):
     """The static linter (:mod:`repro.check`) found error-severity
     findings in an assembled program.

@@ -15,7 +15,7 @@ See ``docs/ROBUSTNESS.md`` for the full fault model and recovery
 semantics.
 """
 
-from repro.faults.chaos import ChaosReport, run_chaos_dsort
+from repro.faults.chaos import ChaosReport, run_chaos_csort, run_chaos_dsort
 from repro.faults.injector import FaultEvent, FaultInjector
 from repro.faults.plan import (
     DiskFaultAt,
@@ -43,5 +43,6 @@ __all__ = [
     "RetryPolicy",
     "Straggler",
     "chaos_plan",
+    "run_chaos_csort",
     "run_chaos_dsort",
 ]

@@ -1,13 +1,21 @@
-"""One-call chaos harness: dsort under a seeded fault plan, verified.
+"""One-call chaos harness: a sorter under a seeded fault plan, verified.
 
-:func:`run_chaos_dsort` builds a faulted cluster, sorts a generated
-dataset with pass-level recovery enabled, verifies the striped output
-against the dataset manifest, and returns a :class:`ChaosReport` with
-everything a caller needs to assert determinism: a digest of the output
-bytes, a digest of the full scheduler event timeline, the fired fault
-events, and the metrics snapshot.  Two calls with the same arguments
-must produce byte-identical reports — that property is what the CLI's
-``repro chaos --check-determinism`` and the chaos property tests assert.
+:func:`run_chaos_dsort` and :func:`run_chaos_csort` build a faulted
+cluster, sort a generated dataset, verify the striped output against the
+dataset manifest, and return a :class:`ChaosReport` with everything a
+caller needs to assert determinism: a digest of the output bytes, a
+digest of the full scheduler event timeline, the fired fault events, and
+the metrics snapshot.  Two calls with the same arguments must produce
+byte-identical reports — that property is what the CLI's ``repro chaos
+--check-determinism`` and the chaos property tests assert.
+
+The dsort harness optionally runs under the fine-grained recovery
+manager (``recover=RecoverPolicy(...)``): block-level checkpoints,
+speculative backups, and partition re-assignment then absorb faults
+below the pass-restart level, and every recovery decision lands in the
+report and in the provenance record.  csort has no in-run recovery
+machinery — its chaos coverage is the transient fault model absorbed by
+the disk/NIC retry layer — so ``run_chaos_csort`` takes no ``recover``.
 """
 
 from __future__ import annotations
@@ -16,10 +24,11 @@ import dataclasses
 import hashlib
 from typing import Any, Optional
 
+from repro.errors import FaultError
 from repro.faults.injector import FaultEvent
 from repro.faults.plan import FaultPlan, chaos_plan
 
-__all__ = ["ChaosReport", "run_chaos_dsort"]
+__all__ = ["ChaosReport", "run_chaos_csort", "run_chaos_dsort"]
 
 
 @dataclasses.dataclass
@@ -50,11 +59,18 @@ class ChaosReport:
     #: the run's provenance record (None when tracing was off or the
     #: run used non-default hardware); see repro.prov
     provenance: Optional[Any] = None
+    #: which sorter ran ("dsort" or "csort")
+    sorter: str = "dsort"
+    #: the recovery manager's decision log (empty without ``recover``)
+    recovery_decisions: list = dataclasses.field(default_factory=list)
+    #: per-rank phase timings (one dict per rank; keys depend on the
+    #: sorter) — lets callers aim fault windows at a specific pass
+    rank_times: list = dataclasses.field(default_factory=list)
 
     def describe(self) -> str:
         """Multi-line human summary (used by ``repro chaos``)."""
         lines = [
-            f"chaos dsort: seed={self.seed} nodes={self.n_nodes} "
+            f"chaos {self.sorter}: seed={self.seed} nodes={self.n_nodes} "
             f"records={self.total_records}",
             f"  elapsed          {self.elapsed:.3f} simulated s",
             f"  verified         {self.verified}",
@@ -62,6 +78,13 @@ class ChaosReport:
             f"  faults fired     {self.fault_summary.get('total', 0)} "
             f"{self.fault_summary.get('by_kind', {})}",
         ]
+        if self.recovery_decisions:
+            by_kind: dict[str, int] = {}
+            for d in self.recovery_decisions:
+                by_kind[d["kind"]] = by_kind.get(d["kind"], 0) + 1
+            lines.append(f"  recovery         "
+                         f"{len(self.recovery_decisions)} decisions "
+                         f"{by_kind}")
         counters = self.metrics.get("counters", {})
         for key in ("retry.disk.retries", "retry.net.retransmits",
                     "recovery.pass_restarts"):
@@ -76,6 +99,29 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+def _chaos_cluster(n_nodes: int, plan: "FaultPlan",
+                   retry: Optional[Any], hardware: Optional[Any],
+                   trace: bool,
+                   mailbox_capacity_bytes: Optional[int] = None):
+    """Kernel + capture + cluster shared by both chaos harnesses."""
+    from repro.cluster.cluster import Cluster
+    from repro.prov import ProvenanceCapture
+    from repro.sim.trace import Tracer
+    from repro.sim.virtual import VirtualTimeKernel
+
+    kernel = VirtualTimeKernel(tracer=Tracer() if trace else None)
+    kernel.enable_metrics()
+    # provenance is only meaningful when the run is fully describable:
+    # default hardware (the record stores no hardware model) and tracing
+    # on (the trace digest is part of the record's identity)
+    capture = (ProvenanceCapture(kernel)
+               if trace and hardware is None else None)
+    cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel,
+                      fault_plan=plan, retry_policy=retry,
+                      mailbox_capacity_bytes=mailbox_capacity_bytes)
+    return kernel, capture, cluster
+
+
 def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
                     seed: int = 1234, *,
                     plan: Optional[FaultPlan] = None,
@@ -87,6 +133,8 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
                     vertical_block_records: int = 128,
                     out_block_records: int = 256,
                     oversample: int = 8,
+                    recover: Optional[Any] = None,
+                    mailbox_capacity_bytes: Optional[int] = None,
                     verify: bool = True,
                     trace: bool = True,
                     trace_path: Optional[str] = None) -> ChaosReport:
@@ -94,25 +142,25 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
 
     ``plan`` defaults to :func:`~repro.faults.plan.chaos_plan` derived
     from ``seed`` (transient disk faults + message drops everywhere).
-    ``trace_path`` optionally writes a Chrome-trace JSON (with fault
-    markers) next to the run.  Deterministic: same arguments, same
-    report.
+    ``recover`` — a :class:`~repro.recover.RecoverPolicy` — runs the
+    sort under the fine-grained recovery manager (checkpoints,
+    speculative backups, partition re-assignment); its decision log
+    lands in the report and the provenance record.  ``trace_path``
+    optionally writes a Chrome-trace JSON (with fault markers) next to
+    the run.  Deterministic: same arguments, same report.
     """
     # Imports are local so that ``import repro.faults`` stays light and
     # free of cycles (the cluster layer itself imports repro.faults).
-    from repro.cluster.cluster import Cluster
     from repro.pdm.records import RecordSchema
     from repro.pdm.striped import StripedFile
-    from repro.sim.trace import Tracer
-    from repro.sim.virtual import VirtualTimeKernel
     from repro.sorting.dsort import DsortConfig, run_dsort
     from repro.sorting.verify import verify_striped_output
     from repro.workloads.generator import generate_input
 
     from repro.prov import (
-        ProvenanceCapture,
         ProvenanceRecord,
         metrics_digest,
+        recovery_decision_log,
         trace_digest,
         tune_decision_log,
         version_info,
@@ -120,15 +168,9 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
 
     if plan is None:
         plan = chaos_plan(seed, n_nodes)
-    kernel = VirtualTimeKernel(tracer=Tracer() if trace else None)
-    kernel.enable_metrics()
-    # provenance is only meaningful when the run is fully describable:
-    # default hardware (the record stores no hardware model) and tracing
-    # on (the trace digest is part of the record's identity)
-    capture = (ProvenanceCapture(kernel)
-               if trace and hardware is None else None)
-    cluster = Cluster(n_nodes=n_nodes, hardware=hardware, kernel=kernel,
-                      fault_plan=plan, retry_policy=retry)
+    kernel, capture, cluster = _chaos_cluster(
+        n_nodes, plan, retry, hardware, trace,
+        mailbox_capacity_bytes=mailbox_capacity_bytes)
     schema = RecordSchema.paper_16()
     manifest = generate_input(cluster, schema, records_per_node,
                               distribution, seed=seed)
@@ -137,16 +179,26 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
                          out_block_records=out_block_records,
                          oversample=oversample, seed=seed,
                          pass_retries=pass_retries)
-    reports = cluster.run(run_dsort, schema, config)
+    manager = None
+    owners = None
+    if recover is not None:
+        from repro.recover import RecoveryManager
+
+        manager = RecoveryManager(cluster, recover)
+        manager.start()
+        reports = cluster.run(run_dsort, schema, config, manager)
+        owners = manager.output_owners()
+    else:
+        reports = cluster.run(run_dsort, schema, config)
     elapsed = kernel.now()
 
     verified = False
     if verify:
         verify_striped_output(cluster, manifest, config.output_file,
-                              out_block_records)
+                              out_block_records, owners=owners)
         verified = True
     out = StripedFile(cluster, config.output_file, schema,
-                      out_block_records).read_all()
+                      out_block_records, owners=owners).read_all()
     output_digest = hashlib.sha256(out.tobytes()).hexdigest()
 
     run_trace_digest = ""
@@ -175,9 +227,137 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
                   "vertical_block_records": vertical_block_records,
                   "out_block_records": out_block_records,
                   "oversample": oversample,
+                  "recover": (recover.to_json()
+                              if recover is not None else None),
+                  "mailbox_capacity_bytes": mailbox_capacity_bytes,
                   "verify": verify},
             seeds={"workload": seed, "config": config.seed,
-                   "fault_plan": plan.seed},
+                   "fault_plan": plan.seed,
+                   # backoff jitter draws from the injector's per-site
+                   # Philox streams, all derived from the plan seed
+                   "retry_jitter": plan.seed},
+            fault_plan=plan.to_json(),
+            tune_decisions=tune_decision_log(kernel.tracer),
+            recovery_decisions=recovery_decision_log(kernel.tracer),
+            stage_graphs=dict(capture.stage_graphs),
+            digests={"output": output_digest,
+                     "metrics": run_metrics_digest,
+                     "trace": run_trace_digest},
+            **version_info())
+
+    injector = cluster.injector
+    pass_restarts = max(
+        (r.pass_restarts for r in reports
+         if not getattr(r, "dead", False)), default=0)
+    return ChaosReport(
+        seed=seed, n_nodes=n_nodes,
+        total_records=manifest.total_records,
+        elapsed=elapsed,
+        pass_restarts=pass_restarts,
+        verified=verified,
+        output_digest=output_digest,
+        trace_digest=run_trace_digest,
+        fault_events=list(injector.events) if injector is not None else [],
+        fault_summary=(injector.summary() if injector is not None
+                       else {"total": 0, "by_kind": {}}),
+        metrics=snapshot,
+        metrics_digest=run_metrics_digest,
+        provenance=provenance,
+        sorter="dsort",
+        recovery_decisions=(manager.decision_log()
+                            if manager is not None else []),
+        rank_times=[{"rank": r.rank, "sampling": r.sampling_time,
+                     "pass1": r.pass1_time, "pass2": r.pass2_time,
+                     "dead": getattr(r, "dead", False)}
+                    for r in reports])
+
+
+def run_chaos_csort(n_nodes: int = 3, records_per_node: int = 1728,
+                    seed: int = 1234, *,
+                    plan: Optional[FaultPlan] = None,
+                    retry: Optional[Any] = None,
+                    distribution: str = "uniform",
+                    hardware: Optional[Any] = None,
+                    out_block_records: int = 128,
+                    s_override: Optional[int] = None,
+                    verify: bool = True,
+                    trace: bool = True,
+                    trace_path: Optional[str] = None) -> ChaosReport:
+    """Run one seeded chaos csort end to end and report on it.
+
+    Same report contract as :func:`run_chaos_dsort`, same default
+    ``chaos_plan``.  csort relies entirely on the disk/NIC retry layer
+    — it has no pass-level restarts and no recovery manager, so the
+    fault plan must stay within the transient model (the default does).
+    The default shape (1728 records/node on 3 nodes) is the smallest
+    chaos-scale N with a legal columnsort plan whose r admits a
+    128-record output stripe.
+    """
+    from repro.pdm.records import RecordSchema
+    from repro.pdm.striped import StripedFile
+    from repro.sorting.columnsort import CsortConfig, run_csort
+    from repro.sorting.verify import verify_striped_output
+    from repro.workloads.generator import generate_input
+
+    from repro.prov import (
+        ProvenanceRecord,
+        metrics_digest,
+        trace_digest,
+        tune_decision_log,
+        version_info,
+    )
+
+    if plan is None:
+        plan = chaos_plan(seed, n_nodes)
+    if plan.node_crashes:
+        raise FaultError(
+            "csort has no node-crash recovery; use run_chaos_dsort with "
+            "a RecoverPolicy for crash chaos")
+    kernel, capture, cluster = _chaos_cluster(n_nodes, plan, retry,
+                                              hardware, trace)
+    schema = RecordSchema.paper_16()
+    manifest = generate_input(cluster, schema, records_per_node,
+                              distribution, seed=seed)
+    config = CsortConfig(out_block_records=out_block_records,
+                         s_override=s_override)
+    reports = cluster.run(run_csort, schema, config)
+    elapsed = kernel.now()
+
+    verified = False
+    if verify:
+        verify_striped_output(cluster, manifest, config.output_file,
+                              out_block_records)
+        verified = True
+    out = StripedFile(cluster, config.output_file, schema,
+                      out_block_records).read_all()
+    output_digest = hashlib.sha256(out.tobytes()).hexdigest()
+
+    run_trace_digest = ""
+    if trace:
+        run_trace_digest = trace_digest(kernel.tracer)
+        if trace_path is not None:
+            from repro.obs.chrome_trace import write_chrome_trace
+            write_chrome_trace(trace_path, kernel.tracer,
+                               metrics=kernel.metrics)
+
+    snapshot = kernel.metrics.snapshot()
+    run_metrics_digest = metrics_digest(snapshot)
+
+    provenance = None
+    if capture is not None:
+        provenance = ProvenanceRecord(
+            kind="chaos_csort",
+            args={"n_nodes": n_nodes,
+                  "records_per_node": records_per_node,
+                  "seed": seed,
+                  "retry": (dataclasses.asdict(retry)
+                            if retry is not None else None),
+                  "distribution": distribution,
+                  "out_block_records": out_block_records,
+                  "s_override": s_override,
+                  "verify": verify},
+            seeds={"workload": seed, "fault_plan": plan.seed,
+                   "retry_jitter": plan.seed},
             fault_plan=plan.to_json(),
             tune_decisions=tune_decision_log(kernel.tracer),
             stage_graphs=dict(capture.stage_graphs),
@@ -191,7 +371,7 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
         seed=seed, n_nodes=n_nodes,
         total_records=manifest.total_records,
         elapsed=elapsed,
-        pass_restarts=reports[0].pass_restarts,
+        pass_restarts=0,
         verified=verified,
         output_digest=output_digest,
         trace_digest=run_trace_digest,
@@ -200,4 +380,8 @@ def run_chaos_dsort(n_nodes: int = 3, records_per_node: int = 2000,
                        else {"total": 0, "by_kind": {}}),
         metrics=snapshot,
         metrics_digest=run_metrics_digest,
-        provenance=provenance)
+        provenance=provenance,
+        sorter="csort",
+        rank_times=[{"rank": r.rank, "pass1": r.pass1_time,
+                     "pass2": r.pass2_time, "pass3": r.pass3_time}
+                    for r in reports])

@@ -60,11 +60,20 @@ class RetryPolicy:
 
     def backoff(self, attempt: int, rng: Any = None) -> float:
         """Delay before retrying after failed attempt number ``attempt``
-        (1-based).  With an RNG, jitter shaves a deterministic fraction
-        off the nominal delay (de-synchronizing retry storms)."""
+        (1-based).  Jitter shaves a deterministic fraction off the
+        nominal delay (de-synchronizing retry storms), drawn from the
+        caller's seeded RNG.  A jittered policy *requires* an RNG:
+        silently skipping the jitter would give the same policy two
+        different timelines depending on the call site, which is exactly
+        the nondeterminism the seeded streams exist to rule out."""
         delay = min(self.max_delay,
                     self.base_delay * self.multiplier ** (attempt - 1))
-        if self.jitter > 0.0 and rng is not None:
+        if self.jitter > 0.0:
+            if rng is None:
+                raise FaultError(
+                    f"jittered backoff (jitter={self.jitter:g}) needs a "
+                    "seeded rng; pass one (e.g. FaultInjector.rng) or "
+                    "set jitter=0")
             delay *= 1.0 - self.jitter * float(rng.random())
         return delay
 

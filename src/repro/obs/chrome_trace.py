@@ -26,7 +26,7 @@ from typing import IO, Optional, Sequence, Union
 
 from repro.obs.bottleneck import normalize_reason
 from repro.obs.metrics import MetricsRegistry
-from repro.sim.trace import FAULT, TUNE, Tracer
+from repro.sim.trace import FAULT, RECOVER, TUNE, Tracer
 
 __all__ = ["chrome_trace", "write_chrome_trace", "write_metrics_json"]
 
@@ -70,20 +70,22 @@ def chrome_trace(tracer: Tracer,
             if iv.detail:
                 event["args"] = {"detail": iv.detail}
             events.append(event)
-    # injected faults and tuner decisions are instantaneous markers:
-    # render each as a thread-scoped instant event on the process it
-    # struck, or on a dedicated per-kind row ("faults" / "tune") when it
-    # fired outside any traced process
+    # injected faults, tuner decisions, and recovery decisions are
+    # instantaneous markers: render each as a thread-scoped instant event
+    # on the process it struck, or on a dedicated per-kind row
+    # ("faults" / "tune" / "recovery") when it fired outside any traced
+    # process
     marker_events = [ev for ev in tracer.events
-                     if ev.kind in (FAULT, TUNE)]
+                     if ev.kind in (FAULT, TUNE, RECOVER)]
     if marker_events:
         tid_of = {name: tid for tid, name in enumerate(names)}
         extra_tid: dict[str, int] = {}
         next_tid = len(names)
+        row_of = {FAULT: "faults", TUNE: "tune", RECOVER: "recovery"}
         for ev in marker_events:
             tid = tid_of.get(ev.process)
             if tid is None:
-                row = "faults" if ev.kind == FAULT else "tune"
+                row = row_of[ev.kind]
                 if row not in extra_tid:
                     extra_tid[row] = next_tid
                     events.append({"ph": "M", "name": "thread_name",

@@ -9,6 +9,7 @@ both dsort and csort produce (paper, Section V).
 
 from repro.pdm.records import RecordSchema
 from repro.pdm.blockfile import RecordFile
+from repro.pdm.journal import Journal
 from repro.pdm.striped import StripedFile
 
-__all__ = ["RecordSchema", "RecordFile", "StripedFile"]
+__all__ = ["RecordSchema", "RecordFile", "Journal", "StripedFile"]

@@ -1,0 +1,102 @@
+"""Write-ahead journals: crash-durable block manifests for recovery.
+
+A :class:`Journal` is an append-only file of JSON lines on one node's
+disk.  The recovery manager journals every durable unit of pass work —
+a completed run file in pass 1, a written output stripe piece in
+pass 2 — *after* the data write completes, so a retried pass can load
+the journal and resume from the last durable block instead of
+re-running the whole pass.
+
+Appends go through the timed disk path (they cost modeled arm time and
+are subject to fault injection like any other write); loads are untimed
+metadata reads, the same rule the verifier uses.  Each line carries a
+CRC32 of its payload: a node crash mid-append leaves a torn tail, and
+``load`` stops at the first line that fails its checksum — everything
+before it is durable, everything after never happened.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.disk import Disk
+
+__all__ = ["Journal"]
+
+
+def _encode(entry: dict[str, Any]) -> bytes:
+    body = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n".encode("utf-8")
+
+
+def _decode(line: bytes) -> "dict[str, Any] | None":
+    """One journal line back to its entry, or None if torn/corrupt."""
+    try:
+        text = line.decode("utf-8")
+        crc_hex, body = text.split(" ", 1)
+        if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != int(crc_hex, 16):
+            return None
+        entry = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return entry if isinstance(entry, dict) else None
+
+
+class Journal:
+    """An append-only, checksummed JSON-line journal on one disk."""
+
+    def __init__(self, disk: Disk, name: str):
+        self.disk = disk
+        self.name = name
+
+    # -- timed append (inside kernel processes) -----------------------------
+
+    def append(self, entry: dict[str, Any]) -> None:
+        """Durably append one entry (timed, charges the disk arm).
+
+        The caller must have already made the data the entry describes
+        durable: the journal records *facts*, and a fact journaled before
+        it is true would survive a crash the data did not.
+        """
+        raw = np.frombuffer(_encode(entry), dtype=np.uint8)
+        self.disk.write(self.name, self.disk.size(self.name)
+                        if self.exists else 0, raw)
+
+    # -- untimed recovery reads ---------------------------------------------
+
+    def load(self) -> list[dict[str, Any]]:
+        """All durable entries, in append order.
+
+        Stops at the first torn or corrupt line (the tail a crash left
+        behind); entries before it are returned, the tail is discarded.
+        """
+        if not self.exists:
+            return []
+        size = self.disk.size(self.name)
+        raw = bytes(self.disk.storage.read(self.name, 0, size))
+        entries: list[dict[str, Any]] = []
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            entry = _decode(line)
+            if entry is None:
+                break
+            entries.append(entry)
+        return entries
+
+    @property
+    def exists(self) -> bool:
+        return self.disk.exists(self.name)
+
+    def delete(self) -> None:
+        """Drop the journal (untimed metadata op, like file deletes)."""
+        if self.exists:
+            self.disk.delete(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Journal {self.name!r} on {self.disk.name}>"

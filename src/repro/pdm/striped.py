@@ -9,6 +9,8 @@ outputs byte-comparable and lets one verifier check both.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.cluster.cluster import Cluster
@@ -20,16 +22,28 @@ __all__ = ["StripedFile"]
 
 
 class StripedFile:
-    """A record file striped block-round-robin across all cluster disks."""
+    """A record file striped block-round-robin across cluster disks.
+
+    By default every node owns a stripe.  After a node crash the
+    recovery manager re-stripes the output over the *survivors* only;
+    pass ``owners`` (the surviving ranks, in stripe order) to address
+    such a file: global block ``b`` then lives on node
+    ``owners[b % len(owners)]`` at local block ``b // len(owners)``.
+    """
 
     def __init__(self, cluster: Cluster, name: str, schema: RecordSchema,
-                 block_records: int):
+                 block_records: int,
+                 owners: Optional[Sequence[int]] = None):
         if block_records < 1:
             raise SortError("block_records must be >= 1")
         self.cluster = cluster
         self.name = name
         self.schema = schema
         self.block_records = block_records
+        self.owners = (list(owners) if owners is not None
+                       else list(range(cluster.n_nodes)))
+        if not self.owners:
+            raise SortError("striped file needs at least one owner node")
         self.locals = [RecordFile(node.disk, name, schema)
                        for node in cluster.nodes]
 
@@ -39,11 +53,17 @@ class StripedFile:
     def n_nodes(self) -> int:
         return self.cluster.n_nodes
 
+    @property
+    def stripe_width(self) -> int:
+        """Number of disks the file is striped over (== n_nodes unless a
+        survivor layout was supplied)."""
+        return len(self.owners)
+
     def node_of_block(self, global_block: int) -> int:
-        return global_block % self.n_nodes
+        return self.owners[global_block % self.stripe_width]
 
     def local_block(self, global_block: int) -> int:
-        return global_block // self.n_nodes
+        return global_block // self.stripe_width
 
     def block_of_record(self, global_record: int) -> int:
         return global_record // self.block_records
@@ -79,7 +99,10 @@ class StripedFile:
     # -- untimed verification helpers ---------------------------------------------------
 
     def total_records(self) -> int:
-        return sum(f.n_records for f in self.locals)
+        # sum only the owner disks: after re-assignment a dead node may
+        # still hold a stale partial file from the aborted epoch
+        return sum(self.locals[rank].n_records
+                   for rank in sorted(set(self.owners)))
 
     def read_all(self) -> np.ndarray:
         """Untimed read of all records in global (PDM) order."""
@@ -103,4 +126,4 @@ class StripedFile:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<StripedFile {self.name!r}: {self.total_records()} records "
                 f"in {self.block_records}-record blocks over "
-                f"{self.n_nodes} nodes>")
+                f"{self.stripe_width} nodes>")

@@ -87,6 +87,10 @@ class PipelineIR:
     #: state that must be part of the structural identity
     pool_grown: int = 0
     pool_retired: int = 0
+    #: recovery-manager annotation ("backup" / "adopted"); None for
+    #: ordinary pipelines, and omitted from canonical() when None so
+    #: pre-recovery fingerprints are unchanged
+    role: Optional[str] = None
     #: the underlying Pipeline object (never part of canonical())
     pipeline: Any = dataclasses.field(default=None, repr=False)
 
@@ -153,7 +157,7 @@ class PipelineIR:
         return total
 
     def canonical(self) -> dict[str, Any]:
-        return {
+        doc = {
             "name": self.name,
             "stages": [node.canonical() for node in self.stages],
             "nbuffers": self.nbuffers,
@@ -164,6 +168,9 @@ class PipelineIR:
             "pool_grown": self.pool_grown,
             "pool_retired": self.pool_retired,
         }
+        if self.role is not None:
+            doc["role"] = self.role
+        return doc
 
 
 @dataclasses.dataclass
@@ -200,7 +207,8 @@ class ProgramGraph:
                 buffer_bytes=p.buffer_bytes, rounds=p.rounds,
                 aux_buffers=p.aux_buffers,
                 channel_capacity=p.channel_capacity,
-                pool_grown=grown, pool_retired=retired, pipeline=p))
+                pool_grown=grown, pool_retired=retired,
+                role=getattr(p, "role", None), pipeline=p))
         applied = getattr(program, "applied_plan", None)
         digest = applied.digest() if applied is not None else None
         return cls(name=program.name, pipelines=pipelines,

@@ -44,6 +44,7 @@ from repro.prov.record import (
     ProvenanceRecord,
     metrics_digest,
     output_digest,
+    recovery_decision_log,
     trace_digest,
     tune_decision_log,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "metrics_digest",
     "output_digest",
     "program_graph",
+    "recovery_decision_log",
     "replay",
     "stage_graph_fingerprint",
     "trace_digest",

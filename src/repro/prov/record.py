@@ -44,6 +44,7 @@ __all__ = [
     "ProvenanceRecord",
     "metrics_digest",
     "output_digest",
+    "recovery_decision_log",
     "trace_digest",
     "tune_decision_log",
 ]
@@ -87,6 +88,19 @@ def tune_decision_log(tracer: Optional["Tracer"]) -> list[dict]:
             for ev in tracer.events if ev.kind == TUNE]
 
 
+def recovery_decision_log(tracer: Optional["Tracer"]) -> list[dict]:
+    """Every recovery decision the run recorded, from the trace's
+    ``recover`` instants — the zero-per-app-code capture path for
+    :class:`~repro.recover.RecoveryManager` activity (checkpoint resume,
+    speculation, partition re-assignment)."""
+    if tracer is None:
+        return []
+    from repro.sim.trace import RECOVER
+
+    return [{"time": ev.time, "process": ev.process, "detail": ev.detail}
+            for ev in tracer.events if ev.kind == RECOVER]
+
+
 @dataclasses.dataclass
 class ProvenanceRecord:
     """One run's identity; see the module docstring for field semantics."""
@@ -96,6 +110,9 @@ class ProvenanceRecord:
     seeds: dict = dataclasses.field(default_factory=dict)
     fault_plan: Optional[dict] = None
     tune_decisions: list = dataclasses.field(default_factory=list)
+    #: the recovery manager's decision trail (``recover`` trace instants;
+    #: empty for runs without a RecoveryManager)
+    recovery_decisions: list = dataclasses.field(default_factory=list)
     stage_graphs: dict = dataclasses.field(default_factory=dict)
     digests: dict = dataclasses.field(default_factory=dict)
     repro_version: str = ""
@@ -172,6 +189,9 @@ class ProvenanceRecord:
         lines.append(f"  fault plan       "
                      f"{'yes' if self.fault_plan else 'none'}")
         lines.append(f"  tune decisions   {len(self.tune_decisions)}")
+        if self.recovery_decisions:
+            lines.append(f"  recovery log     "
+                         f"{len(self.recovery_decisions)} decisions")
         lines.append(f"  stage graphs     {len(self.stage_graphs)}")
         for name, value in sorted(self.digests.items()):
             shown = f"{value[:16]}…" if value else "(not captured)"

@@ -30,7 +30,7 @@ from repro.prov.record import ProvenanceRecord
 __all__ = ["ReplayResult", "emit_script", "replay"]
 
 #: record kinds replay knows how to re-execute
-REPLAYABLE_KINDS = ("sort", "chaos_dsort")
+REPLAYABLE_KINDS = ("sort", "chaos_dsort", "chaos_csort")
 
 
 @dataclasses.dataclass
@@ -106,7 +106,7 @@ def _replay_sort(record: ProvenanceRecord) -> ProvenanceRecord:
 
 
 def _replay_chaos(record: ProvenanceRecord) -> ProvenanceRecord:
-    from repro.faults.chaos import run_chaos_dsort
+    from repro.faults.chaos import run_chaos_csort, run_chaos_dsort
     from repro.faults.plan import FaultPlan
     from repro.faults.retry import RetryPolicy
 
@@ -114,10 +114,22 @@ def _replay_chaos(record: ProvenanceRecord) -> ProvenanceRecord:
     retry = a.pop("retry", None)
     plan = (FaultPlan.from_json(record.fault_plan)
             if record.fault_plan is not None else None)
-    report = run_chaos_dsort(
-        plan=plan,
-        retry=RetryPolicy(**retry) if retry is not None else None,
-        **a)
+    if record.kind == "chaos_csort":
+        report = run_chaos_csort(
+            plan=plan,
+            retry=RetryPolicy(**retry) if retry is not None else None,
+            **a)
+    else:
+        recover = a.pop("recover", None)
+        if recover is not None:
+            from repro.recover import RecoverPolicy
+
+            recover = RecoverPolicy.from_json(recover)
+        report = run_chaos_dsort(
+            plan=plan,
+            retry=RetryPolicy(**retry) if retry is not None else None,
+            recover=recover,
+            **a)
     if report.provenance is None:
         raise ReproError("chaos replay did not capture provenance "
                          "(tracing disabled?)")
@@ -128,7 +140,7 @@ def replay(record: ProvenanceRecord) -> ReplayResult:
     """Re-execute ``record`` and compare every captured digest."""
     if record.kind == "sort":
         fresh = _replay_sort(record)
-    elif record.kind == "chaos_dsort":
+    elif record.kind in ("chaos_dsort", "chaos_csort"):
         fresh = _replay_chaos(record)
     else:
         raise ReproError(

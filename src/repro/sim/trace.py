@@ -35,6 +35,10 @@ FAULT = "fault"
 #: decision it applies (add replica / grow pool / shrink pool); same
 #: rendering rules as FAULT
 TUNE = "tune"
+#: instantaneous marker recorded by the repro.recover manager for every
+#: recovery decision (resume from checkpoint / speculate / reassign /
+#: race winner); same rendering rules as FAULT
+RECOVER = "recover"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -23,11 +23,14 @@ from typing import Callable, Optional
 from repro.cluster.mpi import Comm
 from repro.cluster.node import Node
 from repro.core import FGProgram
-from repro.errors import PipelineFailed, SortError
+from repro.errors import PipelineFailed, SortError, SpeculationLost
 from repro.pdm.blockfile import RecordFile
+from repro.pdm.journal import Journal
 from repro.pdm.records import RecordSchema
-from repro.sorting.dsort.pass1 import TAG_PASS1, build_pass1
-from repro.sorting.dsort.pass2 import TAG_PASS2, build_pass2
+from repro.sorting.dsort.pass1 import (TAG_PASS1, build_pass1,
+                                       build_pass1_recover)
+from repro.sorting.dsort.pass2 import (TAG_PASS2, build_pass2,
+                                       build_pass2_recover, pieces_of)
 from repro.sorting.dsort.sampling import select_splitters
 
 __all__ = ["DsortConfig", "DsortReport", "run_dsort"]
@@ -85,6 +88,8 @@ class DsortReport:
     n_runs: int
     #: cluster-wide pass restarts this run needed (0 on a clean run)
     pass_restarts: int = 0
+    #: this node crashed mid-run; the survivors finished without it
+    dead: bool = False
 
     @property
     def total_time(self) -> float:
@@ -92,10 +97,21 @@ class DsortReport:
 
 
 def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
-              config: Optional[DsortConfig] = None) -> DsortReport:
-    """Sort the cluster's ``input`` files into striped ``output`` (SPMD)."""
+              config: Optional[DsortConfig] = None,
+              recover=None) -> DsortReport:
+    """Sort the cluster's ``input`` files into striped ``output`` (SPMD).
+
+    With ``recover`` (a :class:`~repro.recover.RecoveryManager` shared
+    by all ranks) the run uses the fine-grained recovery path:
+    journaled block-level checkpoints, dead-tolerant synchronization,
+    speculative backup merges, and partition re-assignment after a node
+    crash.  Without it the behavior is byte-identical to before
+    ``repro.recover`` existed.
+    """
     if config is None:
         config = DsortConfig()
+    if recover is not None:
+        return _run_dsort_recover(node, comm, schema, config, recover)
     kernel = node.kernel
 
     comm.barrier()
@@ -247,3 +263,353 @@ def _striped_share(total_records: int, block_records: int, n_nodes: int,
     for block in range(rank, total_blocks, n_nodes):
         share += min(block_records, total_records - block * block_records)
     return share
+
+
+# -- fine-grained recovery path ----------------------------------------------
+
+
+def _run_dsort_recover(node: Node, comm: Comm, schema: RecordSchema,
+                       config: DsortConfig, mgr) -> DsortReport:
+    """dsort under a :class:`~repro.recover.RecoveryManager`.
+
+    Same phases as the legacy path, but every collective from the end
+    of pass 1 onward goes through the manager's dead-tolerant sync
+    points, the passes build their checkpointing variants, and a node
+    crash mid-pass-2 triggers a re-assignment epoch instead of wedging
+    the cluster.  Scope: crashes are recoverable once pass 1 has
+    completed (backup runs exist); a crash during sampling or pass 1
+    aborts the run with a clear error, because the dead node's input
+    partition only ever existed on its own disk.
+    """
+    from repro.recover import NodeDied
+
+    kernel = node.kernel
+    rank = comm.rank
+    P = comm.size
+    policy = mgr.policy
+    rec_bytes = schema.record_bytes
+    mgr.start()
+    t0 = t1 = t2 = t3 = kernel.now()
+    local_total = 0
+    runs: list = []
+    p1_restarts = p2_restarts = 0
+    try:
+        comm.barrier()
+        t0 = kernel.now()
+        splitters = select_splitters(node, comm, schema, config.input_file,
+                                     oversample=config.oversample,
+                                     seed=config.seed)
+        comm.barrier()
+        t1 = kernel.now()
+
+        # -- pass 1: checkpointed runs + buddy backups --------------------
+        jrn1 = Journal(node.disk, f"{config.run_prefix}.journal")
+        slog = Journal(node.disk, f"{config.run_prefix}.sendlog")
+        state: dict = {}
+
+        def run_pass1(attempt: int) -> None:
+            state.clear()
+            durable_own: set = set()
+            journaled: list = []
+            if policy.checkpoint:
+                for entry in jrn1.load():
+                    journaled.extend(entry.get("runs", []))
+            for run in journaled:
+                durable_own.update((int(s), int(b)) for s, b in run["frags"])
+                if run["bak"] is not None:
+                    mgr.publish_backup_run(rank, run["k"], run["bak"][0],
+                                           run["bak"][1], run["n"])
+            mgr.publish_durable_frags(rank, durable_own)
+            # every rank publishes what its journal proved durable before
+            # any rank decides what it can skip re-sending
+            mgr.barrier(f"p1.pub.a{attempt}", rank)
+            sent_logged: set = set()
+            skip_blocks: set = set()
+            if policy.checkpoint:
+                for entry in slog.load():
+                    for b, dsts in entry.get("blocks", []):
+                        sent_logged.add(int(b))
+                        if all(mgr.is_dead(d)
+                               or (rank, int(b)) in mgr.durable_frags(d)
+                               for d in dsts):
+                            skip_blocks.add(int(b))
+            if attempt and journaled:
+                mgr.decide("resume", rank,
+                           f"pass 1 attempt {attempt}: {len(journaled)} "
+                           f"runs journaled, {len(skip_blocks)} blocks "
+                           "skipped")
+            state["runs"] = [(run["name"], run["n"]) for run in journaled]
+            state["next_run"] = (max((run["k"] for run in journaled),
+                                     default=-1) + 1)
+            mgr.pass_begin(f"p1.a{attempt}", TAG_PASS1,
+                           {f"p{r}": r for r in range(P)}, schema)
+            suffix = f".r{attempt}" if attempt else ""
+            prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
+                              name=f"dsort-p1@{rank}{suffix}")
+            build_pass1_recover(
+                prog1, node, comm, schema, splitters,
+                input_file=config.input_file,
+                run_prefix=config.run_prefix,
+                block_records=config.block_records,
+                nbuffers=config.nbuffers, state=state, manager=mgr,
+                journal=jrn1 if policy.checkpoint else None,
+                sendlog=slog if policy.checkpoint else None,
+                skip_blocks=frozenset(skip_blocks),
+                sent_logged=sent_logged, durable_own=durable_own,
+                sort_replicas=config.sort_replicas)
+            prog1.run()
+
+        def reset_pass1() -> None:
+            # keep journaled runs and hosted backups; everything else on
+            # this attempt's floor is debris
+            journaled_names = {run[0] for run in state.get("runs", [])}
+            prefix = config.run_prefix + "."
+            keep = (f"{config.run_prefix}.bak", f"{config.run_prefix}.journal",
+                    f"{config.run_prefix}.sendlog")
+            for name in list(node.disk.names()):
+                if (name.startswith(prefix) and name not in journaled_names
+                        and not name.startswith(keep)):
+                    node.disk.delete(name)
+            _drain_stale(comm, TAG_PASS1)
+
+        def on_retry_p1(newly_dead: list) -> None:
+            if newly_dead:
+                raise SortError(
+                    f"node {newly_dead[0]} crashed during dsort pass 1; "
+                    "its input partition is unrecoverable")
+
+        p1_restarts, statuses = _attempt_pass_recover(
+            mgr, comm, kernel, "p1", config.pass_retries, run_pass1,
+            reset_pass1, on_retry_p1,
+            payload_fn=lambda: sum(n for _, n in state.get("runs", [])),
+            data_tag=TAG_PASS1)
+        t2 = kernel.now()
+
+        # -- pass 2: resumable merge under the current striping -----------
+        runs = state.get("runs", [])
+        local_total = sum(n for _, n in runs)
+        # totals rode along on the pass-1 status sync, so they are known
+        # for every rank — including one that dies later in pass 2
+        totals = {r: int(statuses[r][1]) for r in range(P)}
+        start_globals = {r: sum(totals[q] for q in range(r))
+                         for r in range(P)}
+        total_records = sum(totals.values())
+        mlog = Journal(node.disk, f"{config.run_prefix}.mlog")
+        p2_state: dict = {}
+
+        def run_pass2(attempt: int) -> None:
+            p2_state.clear()
+            epoch = mgr.epoch
+            owners = mgr.output_owners() or list(range(P))
+            S = len(owners)
+            my_records = _striped_share(total_records,
+                                        config.out_block_records, S,
+                                        owners.index(rank))
+            # epoch-keyed piece journal: output stripes from a previous
+            # epoch were laid out under a striping that no longer exists
+            jname = f"{config.output_file}.p2log.e{epoch}"
+            stale = [n for n in node.disk.names()
+                     if n.startswith(f"{config.output_file}.p2log.")
+                     and n != jname]
+            for n in stale:
+                node.disk.delete(n)
+            jrn2 = Journal(node.disk, jname)
+            durable_own: set = set()
+            expected_bytes = my_records * rec_bytes
+            if (policy.checkpoint and not stale and jrn2.exists
+                    and node.disk.exists(config.output_file)
+                    and node.disk.size(config.output_file) == expected_bytes):
+                for entry in jrn2.load():
+                    durable_own.update((int(b), int(o))
+                                       for b, o in entry.get("ps", []))
+            else:
+                jrn2.delete()
+                node.disk.delete(config.output_file)
+            node.disk.storage.truncate(config.output_file, expected_bytes)
+            mgr.publish_durable_pieces(rank, durable_own)
+            mgr.barrier(f"p2.pieces.e{epoch}.a{attempt}", rank)
+            durable_all = mgr.durable_pieces()
+
+            # resume the merge at the last journaled point whose every
+            # preceding piece is durable at its owner
+            my_pieces = pieces_of(start_globals[rank], totals[rank],
+                                  config.out_block_records)
+            K = 0
+            for blk, off, _ in my_pieces:
+                if (blk, off) in durable_all.get(owners[blk % S], ()):
+                    K += 1
+                else:
+                    break
+            resume = {"start_piece": 0, "positions": [0] * len(runs),
+                      "emitted0": 0}
+            if K > 0 and mlog.exists:
+                for entry in mlog.load():
+                    k = entry.get("k")
+                    if (k is not None and k < K
+                            and len(entry.get("pos", ())) == len(runs)
+                            and k + 1 > resume["start_piece"]):
+                        resume = {"start_piece": k + 1,
+                                  "positions": [int(p)
+                                                for p in entry["pos"]],
+                                  "emitted0": int(entry["e"])}
+
+            if attempt and K > 0:
+                mgr.decide("resume", rank,
+                           f"pass 2 epoch {epoch} attempt {attempt}: "
+                           f"{K} pieces durable, merge resumes at piece "
+                           f"{resume['start_piece']}")
+            speculative = (epoch == 0 and policy.speculation is not None
+                           and policy.backup_runs and P > 1)
+            producers = {f"p{r}": r for r in owners}
+            if speculative:
+                producers.update(
+                    {f"b{r}": mgr.buddy(r) for r in owners
+                     if totals[r] > 0 and mgr.buddy(r) != r
+                     and mgr.backup_runs_of(r)})
+            for d, a in mgr.adopters().items():
+                if totals.get(d, 0) > 0:
+                    producers[f"a{d}"] = a
+            mgr.pass_begin(f"p2.e{epoch}.a{attempt}", TAG_PASS2, producers,
+                           schema, speculative=speculative)
+            suffix = f".r{attempt}" if attempt else ""
+            prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
+                              name=f"dsort-p2@{rank}.e{epoch}{suffix}")
+            build_pass2_recover(
+                prog2, node, comm, schema, manager=mgr,
+                runs=[(name, 0, n) for name, n in runs],
+                totals=totals, start_globals=start_globals, owners=owners,
+                producers=producers, output_file=config.output_file,
+                vertical_block_records=config.vertical_block_records,
+                out_block_records=config.out_block_records,
+                nbuffers=config.nbuffers, state=p2_state,
+                durable_all=durable_all, durable_own=durable_own,
+                resume=resume, jrn2=jrn2 if policy.checkpoint else None,
+                mlog=mlog if policy.checkpoint else None,
+                speculative=speculative)
+            prog2.run()
+
+        def reset_pass2() -> None:
+            _drain_stale(comm, TAG_PASS2)
+            mgr.reset_speculation()
+
+        def on_retry_p2(newly_dead: list) -> None:
+            if newly_dead:
+                mgr.enter_epoch(rank)
+            mgr.check_abort()
+
+        p2_restarts, _ = _attempt_pass_recover(
+            mgr, comm, kernel, "p2", config.pass_retries, run_pass2,
+            reset_pass2, on_retry_p2, data_tag=TAG_PASS2)
+        t3 = kernel.now()
+
+        if config.cleanup_runs:
+            prefix = config.run_prefix + "."
+            p2log_prefix = f"{config.output_file}.p2log."
+            for name in list(node.disk.names()):
+                if name.startswith(prefix) or name.startswith(p2log_prefix):
+                    node.disk.delete(name)
+    except NodeDied:
+        return DsortReport(rank=rank, sampling_time=t1 - t0,
+                           pass1_time=t2 - t1, pass2_time=t3 - t2,
+                           partition_records=local_total, n_runs=len(runs),
+                           pass_restarts=p1_restarts + p2_restarts,
+                           dead=True)
+    finally:
+        mgr.node_done(rank)
+    return DsortReport(rank=rank, sampling_time=t1 - t0,
+                       pass1_time=t2 - t1, pass2_time=t3 - t2,
+                       partition_records=local_total, n_runs=len(runs),
+                       pass_restarts=p1_restarts + p2_restarts)
+
+
+def _attempt_pass_recover(mgr, comm: Comm, kernel, pass_name: str,
+                          retries: int, run_fn: Callable[[int], None],
+                          reset_fn: Callable[[], None],
+                          on_retry: Optional[Callable[[list], None]] = None,
+                          payload_fn: Optional[Callable[[], int]] = None,
+                          data_tag: Optional[int] = None):
+    """Run one pass under the recovery manager's dead-tolerant sync.
+
+    Unlike :func:`_attempt_pass` this always runs the status exchange
+    (a :meth:`RecoveryManager.sync_point`, which a crashed rank cannot
+    wedge), treats a pipeline failure whose causes are *all*
+    :class:`~repro.errors.SpeculationLost` as success (losing a
+    speculation race is the mechanism working), and reports this rank's
+    own death as :class:`~repro.recover.NodeDied`.
+
+    The crash oracle is a function of virtual time, so two ranks asking
+    "did anyone just die?" a tick apart can disagree; the retry verdict
+    is therefore resolved exactly once through
+    :meth:`RecoveryManager.resolve` and shared by every rank.
+    ``on_retry`` runs on every live rank with the newly dead ranks
+    before the reset (pass 2 enters a re-assignment epoch there).
+    Returns ``(restarts, final statuses)``; with ``payload_fn``, each
+    rank's ``"ok"`` status carries its payload, which is how pass-1
+    totals reach every survivor without a post-pass collective a dead
+    rank could block.
+    """
+    from repro.recover import NodeDied
+
+    rank = comm.rank
+    for attempt in range(retries + 1):
+        # stable for the whole attempt: epoch transitions only happen
+        # behind the reset barrier below
+        epoch = mgr.epoch
+        if mgr.is_dead(rank):
+            raise NodeDied(f"node {rank} crashed before {pass_name} "
+                           f"attempt {attempt}")
+        failure: Optional[Exception] = None
+        try:
+            run_fn(attempt)
+        except PipelineFailed as exc:
+            if not all(isinstance(f.cause, SpeculationLost)
+                       for f in exc.failures):
+                failure = exc
+        if mgr.is_dead(rank):
+            status: tuple = ("dead",)
+        elif failure is not None:
+            status = ("fail",)
+        else:
+            status = ("ok", payload_fn() if payload_fn is not None else 0)
+        # a failed rank's receive pipeline is gone: while it waits here
+        # for peers still mid-attempt, it must keep draining its own
+        # mailbox, or (under bounded mailboxes) a peer's send blocks
+        # forever reserving space this rank no longer frees — debris
+        # anyway, the rerun resends anything that never became durable
+        drain = None
+        if status[0] == "fail" and data_tag is not None:
+            def drain(tag=data_tag):
+                _drain_stale(comm, tag)
+        statuses = mgr.sync_point(
+            f"{pass_name}.status.e{epoch}.a{attempt}", rank, status,
+            drain=drain)
+        mgr.pass_end()
+
+        def compute_verdict(statuses=statuses):
+            newly_dead = sorted(r for r in mgr.alive if mgr.is_dead(r))
+            live = [r for r in mgr.alive if not mgr.is_dead(r)]
+            ok = (not newly_dead
+                  and all(statuses.get(r, ("missing",))[0] == "ok"
+                          for r in live))
+            return {"ok": ok, "newly_dead": newly_dead, "live": live}
+
+        verdict = mgr.resolve(f"{pass_name}.verdict.e{epoch}.a{attempt}",
+                              compute_verdict)
+        if mgr.is_dead(rank):
+            raise NodeDied(f"node {rank} crashed during {pass_name}")
+        if verdict["ok"]:
+            return attempt, statuses
+        if attempt == retries:
+            if failure is not None:
+                raise failure
+            raise SortError(
+                f"dsort {pass_name} failed on a peer node after "
+                f"{retries + 1} attempts")
+        if rank == min(verdict["live"]) and kernel.metrics is not None:
+            kernel.metrics.counter("recovery.pass_restarts").inc()
+        if on_retry is not None:
+            on_retry(verdict["newly_dead"])
+        reset_fn()
+        # no rank may start resending before every rank finished draining
+        mgr.barrier(f"{pass_name}.reset.e{epoch}.a{attempt}", rank)
+    raise AssertionError("unreachable")

@@ -38,7 +38,7 @@ from repro.pdm.blockfile import RecordFile
 from repro.pdm.records import RecordSchema
 from repro.sorting.dsort.sampling import Splitters, partition_ids
 
-__all__ = ["build_pass1", "TAG_PASS1"]
+__all__ = ["build_pass1", "build_pass1_recover", "TAG_PASS1"]
 
 #: message tag for pass-1 record traffic (empty payload = end marker)
 TAG_PASS1 = 11
@@ -175,6 +175,262 @@ def build_pass1(prog: FGProgram, node: Node, comm: Comm,
         state["next_run"] += 1
         RecordFile(node.disk, run_name, schema).write(0, records)
         state["runs"].append((run_name, len(records)))
+        return buf
+
+    prog.add_pipeline(
+        "recv",
+        [Stage.source_driven("receive", receive), Stage.map("sort", sort),
+         Stage.map("write", write)],
+        nbuffers=nbuffers, buffer_bytes=block_records * rec_bytes,
+        rounds=None, aux_buffers=True,
+        replicas={"sort": sort_replicas} if sort_replicas > 1 else None)
+
+
+def build_pass1_recover(prog: FGProgram, node: Node, comm: Comm,
+                        schema: RecordSchema, splitters: Splitters, *,
+                        input_file: str, run_prefix: str,
+                        block_records: int, nbuffers: int, state: dict,
+                        manager, journal, sendlog,
+                        skip_blocks: frozenset, sent_logged: set,
+                        durable_own: set,
+                        sort_replicas: int = 1) -> None:
+    """The checkpointing variant of :func:`build_pass1`.
+
+    Structurally the same two pipelines, with the recovery manager's
+    block-level bookkeeping woven in:
+
+    * every data message carries its source input block in metadata and
+      every end marker names its logical producer, so a retried attempt
+      can deduplicate re-sent fragments against the ``(src, block)``
+      pairs its journal proved durable;
+    * the send stage skips fragments every destination already holds
+      durably (and destinations that are dead), and logs fully-sent
+      blocks to ``sendlog`` so a retried read stage can skip re-reading
+      them from disk entirely (``skip_blocks``);
+    * the write stage optionally replicates each run onto the buddy
+      node's disk (``RecoverPolicy.backup_runs`` — a remote-DMA-style
+      write charged to the buddy's arm), then journals the run and its
+      fragments write-ahead: a run is only ever *re-received* if the
+      crash beat its journal entry, and then the deduplication above
+      makes the retry exactly-once.
+
+    Journal appends are batched ``RecoverPolicy.journal_every`` units
+    per entry; the receive stage conveys a final (possibly empty)
+    ``last``-tagged buffer so the write stage can flush its tail batch.
+    """
+    P = comm.size
+    policy = manager.policy
+    rec_bytes = schema.record_bytes
+    rf_in = RecordFile(node.disk, input_file, schema)
+    n_local = rf_in.n_records
+    n_blocks = math.ceil(n_local / block_records)
+    hw = node.hardware
+    state.setdefault("runs", [])
+    state.setdefault("next_run", 0)
+    rank = comm.rank
+    buddy = manager.buddy(rank)
+    backup_disk = (manager.cluster.nodes[buddy].disk
+                   if policy.backup_runs and buddy != rank else None)
+
+    # -- send pipeline ----------------------------------------------------
+
+    def read(ctx, buf):
+        b = buf.round
+        buf.tags["block"] = b
+        if b in skip_blocks:
+            # every fragment of this block is durable at its destination
+            # (journal-proven); skip the disk read, the permute, and the
+            # sends — this is the checkpoint's pass-1 saving
+            buf.put(schema.empty(0))
+            buf.tags["skip"] = True
+            return buf
+        start = b * block_records
+        count = min(block_records, n_local - start)
+        buf.put(rf_in.read(start, count))
+        buf.tags["start"] = start
+        return buf
+
+    def permute(ctx, buf):
+        if buf.tags.get("skip"):
+            return buf
+        records = buf.view(schema.dtype)
+        start = buf.tags["start"]
+        positions = np.arange(start, start + len(records), dtype=np.int64)
+        part = partition_ids(records["key"], comm.rank, positions,
+                             splitters)
+        order = np.argsort(part, kind="stable")
+        node.compute(hw.sort_cost_per_key_log * len(records)
+                     * max(1.0, math.log2(P))
+                     + hw.copy_time(records.nbytes))
+        buf.put(records[order])
+        buf.tags["counts"] = np.bincount(part, minlength=P)
+        return buf
+
+    def send(ctx):
+        pending: list = []
+        logged = set(sent_logged)
+        while True:
+            buf = ctx.accept()
+            if buf.is_caboose:
+                break
+            if buf.tags.get("skip"):
+                ctx.convey(buf)
+                continue
+            b = buf.tags["block"]
+            records = buf.view(schema.dtype)
+            counts = buf.tags["counts"]
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            dsts = []
+            for dest in range(P):
+                lo, hi = int(offsets[dest]), int(offsets[dest + 1])
+                if hi <= lo:
+                    continue
+                dsts.append(dest)
+                if (manager.is_dead(dest)
+                        or (rank, b) in manager.durable_frags(dest)):
+                    continue  # durable there already, or nobody home
+                comm.send(dest, records[lo:hi].copy(), tag=TAG_PASS1,
+                          meta={"block": b})
+            if sendlog is not None and b not in logged:
+                logged.add(b)
+                pending.append([b, dsts])
+                if len(pending) >= policy.journal_every:
+                    sendlog.append({"blocks": pending})
+                    pending = []
+            ctx.convey(buf)
+        if pending:
+            sendlog.append({"blocks": pending})
+        for dest in range(P):
+            if manager.is_dead(dest):
+                continue
+            comm.send(dest, schema.empty(0), tag=TAG_PASS1,
+                      meta={"producer": f"p{rank}"})
+        state["p1_ends_sent"] = True
+        ctx.forward(buf)
+
+    def on_failure(stage, pipelines, exc):
+        if stage.name == "send" and not state.get("p1_ends_sent"):
+            state["p1_ends_sent"] = True
+            for dest in range(P):
+                if manager.is_dead(dest):
+                    continue
+                comm.send(dest, schema.empty(0), tag=TAG_PASS1,
+                          meta={"producer": f"p{rank}"})
+
+    prog.on_pipeline_failure = on_failure
+
+    prog.add_pipeline(
+        "send",
+        [Stage.map("read", read), Stage.map("permute", permute),
+         Stage.source_driven("send", send)],
+        nbuffers=nbuffers, buffer_bytes=block_records * rec_bytes,
+        rounds=n_blocks, aux_buffers=True)
+
+    # -- receive pipeline ---------------------------------------------------
+
+    def receive(ctx):
+        pipeline = ctx.pipelines[0]
+        expected = {f"p{r}" for r in range(P)}
+        ends: set = set()
+        seen = set(durable_own)
+        parts: list = []  # [(key, records)] whole fragments, never split
+        have = 0
+
+        def flush(last: bool) -> bool:
+            """Pack pending fragments into one buffer; False = poisoned."""
+            nonlocal parts, have
+            if not parts and not last:
+                return True
+            buf = ctx.accept()
+            if buf.is_caboose:
+                ctx.forward(buf)
+                return False
+            payloads = [p for _, p in parts]
+            records = (np.concatenate(payloads) if len(payloads) > 1
+                       else payloads[0] if payloads else schema.empty(0))
+            node.compute_copy(len(records) * rec_bytes)
+            buf.put(records)
+            buf.tags["frags"] = [key for key, _ in parts]
+            if last:
+                buf.tags["last"] = True
+            ctx.convey(buf)
+            parts = []
+            have = 0
+            return True
+
+        while not expected <= ends:
+            msg = comm.recv_msg(tag=TAG_PASS1)
+            meta = msg.meta or {}
+            if len(msg.payload) == 0:
+                ends.add(meta.get("producer", f"p{msg.src}"))
+                continue
+            key = (msg.src, meta["block"])
+            if key in seen:
+                continue  # journal-proven durable, or a re-sent duplicate
+            seen.add(key)
+            if have + len(msg.payload) > block_records:
+                if not flush(last=False):
+                    return
+            parts.append((key, msg.payload))
+            have += len(msg.payload)
+        # the final buffer is tagged so the write stage can flush its
+        # batched journal tail; conveyed even when empty
+        if not flush(last=True):
+            return
+        ctx.convey_caboose(pipeline)
+
+    def sort(ctx, buf):
+        records = buf.view(schema.dtype)
+        node.compute_sort(len(records))
+        buf.put(schema.sort(records))
+        return buf
+
+    pending_runs: list = []
+    pending_bak: list = []
+
+    def write(ctx, buf):
+        records = buf.view(schema.dtype)
+        if len(records):
+            k = state["next_run"]
+            state["next_run"] += 1
+            run_name = f"{run_prefix}.{k}"
+            RecordFile(node.disk, run_name, schema).write(0, records)
+            if backup_disk is not None:
+                pending_bak.append((k, records.copy()))
+            pending_runs.append({"k": k, "name": run_name,
+                                 "n": len(records), "bak": None,
+                                 "frags": [[int(s), int(b)]
+                                           for s, b in buf.tags["frags"]]})
+            state["runs"].append((run_name, len(records)))
+        if pending_runs and (len(pending_runs) >= policy.journal_every
+                             or buf.tags.get("last")):
+            if pending_bak:
+                # replicate the batch onto the buddy's disk as ONE
+                # segment file — one seek per batch, not one per run —
+                # before the journal admits any of these runs exists.
+                # A stale segment of the same name from a failed
+                # attempt may be longer, so truncate first.
+                seg = f"{run_prefix}.bakseg{rank}.{pending_bak[0][0]}"
+                backup_disk.storage.truncate(seg, 0)
+                RecordFile(backup_disk, seg, schema).write(
+                    0, np.concatenate([r for _, r in pending_bak]))
+                start = 0
+                offsets = {}
+                for k, recs in pending_bak:
+                    offsets[k] = start
+                    start += len(recs)
+                for entry in pending_runs:
+                    if entry["k"] in offsets:
+                        entry["bak"] = [seg, offsets[entry["k"]]]
+                pending_bak.clear()
+            if journal is not None:
+                journal.append({"runs": list(pending_runs)})
+            for entry in pending_runs:
+                if entry["bak"] is not None:
+                    manager.publish_backup_run(rank, entry["k"],
+                                               entry["bak"][0],
+                                               entry["bak"][1], entry["n"])
+            pending_runs.clear()
         return buf
 
     prog.add_pipeline(

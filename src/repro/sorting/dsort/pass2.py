@@ -211,3 +211,406 @@ def build_pass2(prog: FGProgram, node: Node, comm: Comm,
         "recv", [Stage.source_driven("receive", receive),
                  Stage.map("write", write)],
         nbuffers=nbuffers, buffer_bytes=outB * rec_bytes, rounds=None)
+
+
+# -- recovery variant --------------------------------------------------------
+
+
+def pieces_of(start_global: int, total: int,
+              out_block_records: int) -> list[tuple[int, int, int]]:
+    """Chop one node's merged range into output stripe pieces.
+
+    Returns ``(global block, offset within block, records)`` triples in
+    merge order — the deterministic unit of pass-2 checkpointing: a
+    piece is durable once its owner wrote and journaled it, and a
+    resumed merge restarts at the first non-durable piece.
+    """
+    pieces = []
+    pos, end = start_global, start_global + total
+    while pos < end:
+        blk, off = pos // out_block_records, pos % out_block_records
+        cnt = min(out_block_records - off, end - pos)
+        pieces.append((blk, off, cnt))
+        pos += cnt
+    return pieces
+
+
+def _add_merge_chain(prog: FGProgram, node: Node, comm: Comm,
+                     schema: RecordSchema, manager, state: dict, *,
+                     label: str, pid: str, runs: list[tuple[str, int, int]],
+                     pieces: list[tuple[int, int, int]], total: int,
+                     start_piece: int, positions: list[int],
+                     emitted0: int, vB: int, outB: int, nbuffers: int,
+                     owners: list[int], durable_all: dict,
+                     gate_rank, contender, gauge_name, mlog,
+                     role) -> None:
+    """One merge chain: verticals over ``runs`` -> merge -> send.
+
+    The primary chain (``label == ""``) is the classic pass-2 topology;
+    recovery adds resumability (``start_piece`` / ``positions`` /
+    ``emitted0`` from the merge log), and the same builder also erects
+    *backup* chains (speculation: gated on :meth:`backup_wait`, racing
+    the primary as contender ``"b"``) and *adopted* chains (a dead
+    rank's partition range merged from its backup runs by the adopter).
+    Every chain is an independent set of pipelines; a chain that loses
+    its race raises :class:`~repro.errors.SpeculationLost` and drains
+    through the ordinary poison/teardown path, end markers included.
+    """
+    from repro.errors import SpeculationLost
+
+    P = comm.size
+    S = len(owners)
+    rec_bytes = schema.record_bytes
+    rank = comm.rank
+    ends_key = f"ends:{pid}"
+    journal_every = manager.policy.journal_every
+
+    verdict: dict = {}
+
+    def gate_check() -> None:
+        # first caller parks in backup_wait; the verdict is sticky, so
+        # every later call is a cheap cache hit
+        if "v" not in verdict:
+            verdict["v"] = manager.backup_wait(gate_rank)
+        if verdict["v"] != "activate":
+            raise SpeculationLost(
+                f"backup merge for rank {gate_rank} stood down")
+
+    gated = contender == "b"
+
+    def check_defeat() -> None:
+        # called at every disk-read and merge-refill boundary: the
+        # moment the other contender finishes the range, this chain's
+        # stages stand down and free the disk arm — on a straggler,
+        # that arm is exactly what its receive-side output writes are
+        # queued behind
+        if contender is None:
+            return
+        winner = manager.winner_of(gate_rank)
+        if winner is not None and winner != contender:
+            raise SpeculationLost(
+                f"range of rank {gate_rank} already merged by the "
+                "other contender")
+
+    # -- verticals (skip runs the checkpoint already consumed) ------------
+
+    merge_stage = Stage.source_driven(f"{label}merge", None)
+    verticals: dict[int, object] = {}
+    for i, (run_name, r0, n_run) in enumerate(runs):
+        p0 = positions[i]
+        if p0 >= n_run:
+            continue
+        run_file = RecordFile(node.disk, run_name, schema)
+
+        def make_read(run_file, r0, n_run, p0):
+            def read(ctx, buf):
+                if gated:
+                    gate_check()  # no disk touched before the race opens
+                check_defeat()
+                start = p0 + buf.round * vB
+                count = min(vB, n_run - start)
+                buf.put(run_file.read(r0 + start, count))
+                return buf
+            return read
+
+        stage = Stage.map(f"{label}read{i}",
+                          make_read(run_file, r0, n_run, p0),
+                          virtual=True, virtual_group=f"{label}read")
+        verticals[i] = prog.add_pipeline(
+            f"{label}v{i}", [stage, merge_stage],
+            nbuffers=2, buffer_bytes=vB * rec_bytes,
+            rounds=math.ceil((n_run - p0) / vB), role=role)
+
+    # -- horizontal: merge -> send ----------------------------------------
+
+    def send(ctx):
+        while True:
+            buf = ctx.accept()
+            if buf.is_caboose:
+                break
+            records = buf.view(schema.dtype)
+            blk = buf.tags["global_block"]
+            off = buf.tags["offset"]
+            dest = owners[blk % S]
+            if (not manager.is_dead(dest)
+                    and (blk, off) not in durable_all.get(dest, ())):
+                comm.send(dest, records.copy(), tag=TAG_PASS2,
+                          meta={"global_block": blk, "offset": off})
+            ctx.convey(buf)
+        for dest in range(P):
+            if manager.is_dead(dest):
+                continue
+            comm.send(dest, schema.empty(0), tag=TAG_PASS2,
+                      meta={"producer": pid})
+        state[ends_key] = True
+        ctx.forward(buf)
+
+    horizontal = prog.add_pipeline(
+        f"{label}merge-out",
+        [merge_stage, Stage.source_driven(f"{label}send", send)],
+        nbuffers=nbuffers, buffer_bytes=outB * rec_bytes, rounds=None,
+        role=role)
+    state.setdefault("send_stages", {})[f"{label}send"] = pid
+
+    metrics = getattr(node.kernel, "metrics", None)
+    gauge = (metrics.gauge(gauge_name,
+                           help="fraction of the partition range merged")
+             if metrics is not None and gauge_name else None)
+
+    def merge(ctx):
+        if gated:
+            gate_check()
+        active = sorted(verticals)
+        merger = BlockMerger(schema, active)
+        head_buf: dict[int, object] = {}
+        fed = {i: positions[i] for i in active}
+
+        def refill():
+            check_defeat()
+            for i in sorted(merger.needs()):
+                if i in head_buf:
+                    ctx.convey(head_buf.pop(i))  # spent buffer goes home
+                nxt = ctx.accept(verticals[i])
+                if nxt.is_caboose:
+                    ctx.forward(nxt)
+                    # a poisoned vertical (its read stage died) flushes a
+                    # caboose too; honoring it as end-of-run would merge
+                    # the surviving runs into wrong-but-sorted pieces —
+                    # which checkpointing would then make durable.  Only
+                    # a fully-delivered run may retire.
+                    if fed[i] != runs[i][2]:
+                        check_defeat()
+                        raise SortError(
+                            f"pass-2 vertical {i} died after {fed[i]} of "
+                            f"{runs[i][2]} records")
+                    merger.finish_run(i)
+                else:
+                    block = nxt.view(schema.dtype)
+                    merger.feed(i, block)
+                    fed[i] += len(block)
+                    head_buf[i] = nxt
+
+        refill()
+        emitted = emitted0
+        for idx in range(start_piece, len(pieces)):
+            check_defeat()
+            blk, off, cnt = pieces[idx]
+            out = ctx.accept(horizontal)
+            if out.is_caboose:
+                raise SortError(
+                    "pass-2 output pipeline failed underneath merge")
+            out_records = out.data[:cnt * rec_bytes].view(schema.dtype)
+            filled = 0
+            while filled < cnt:
+                if not merger.ready:
+                    refill()
+                    continue
+                n = merger.merge_into(out_records, filled, cnt - filled)
+                if n == 0 and merger.exhausted:
+                    check_defeat()
+                    raise SortError(
+                        "pass-2 merge ran dry before its range completed")
+                node.compute_merge(n)
+                filled += n
+            out.size = cnt * rec_bytes
+            out.tags["global_block"] = blk
+            out.tags["offset"] = off
+            ctx.convey(out)
+            emitted += cnt
+            if gauge is not None:
+                gauge.set(emitted / max(total, 1))
+            if mlog is not None and (idx == len(pieces) - 1
+                                     or (idx + 1 - start_piece)
+                                     % journal_every == 0):
+                consumed = [fed[i] - merger.head_remaining(i)
+                            if i in fed else positions[i]
+                            for i in range(len(runs))]
+                mlog.append({"k": idx, "e": emitted, "pos": consumed})
+        # totals are exact, so past the last piece only cabooses remain;
+        # accept them so the vertical pipelines can finish
+        while not merger.exhausted:
+            if not merger.needs():
+                raise SortError(
+                    "pass-2 merge has records beyond its range")
+            refill()
+        ctx.convey_caboose(horizontal)
+        if contender is not None:
+            manager.range_complete(gate_rank, contender)
+
+    merge_stage.fn = merge
+
+
+def build_pass2_recover(prog: FGProgram, node: Node, comm: Comm,
+                        schema: RecordSchema, *, manager,
+                        runs: list[tuple[str, int, int]], totals: dict,
+                        start_globals: dict, owners: list[int],
+                        producers: dict, output_file: str,
+                        vertical_block_records: int,
+                        out_block_records: int, nbuffers: int,
+                        state: dict, durable_all: dict, durable_own: set,
+                        resume: dict, jrn2, mlog,
+                        speculative: bool) -> None:
+    """The recovering variant of :func:`build_pass2`.
+
+    Erects up to three kinds of merge chains on this node — its own
+    partition range (resumable from the merge log), a gated speculative
+    backup of the rank it buddies for, and an adopted chain per dead
+    rank whose backups live here — plus one receive pipeline that
+    writes owned stripe pieces under the survivor striping ``owners``
+    and journals them write-ahead (batched) for the next attempt's
+    resume.  ``producers`` (identical on every rank) maps each logical
+    producer id to its host rank; the receive stage finishes once every
+    producer's end marker arrived, with the recovery manager's watchdog
+    standing in for producers whose host died.
+    """
+    from repro.errors import FaultError
+
+    P = comm.size
+    S = len(owners)
+    rank = comm.rank
+    rec_bytes = schema.record_bytes
+    vB = vertical_block_records
+    outB = out_block_records
+    policy = manager.policy
+
+    def on_failure(stage, pipelines, exc):
+        # a dead send stage can no longer deliver its chain's end
+        # markers; send them in its stead (unless this whole node died
+        # — then the watchdog compensates out-of-band)
+        pid = state.get("send_stages", {}).get(stage.name)
+        if pid is None or state.get(f"ends:{pid}"):
+            return
+        state[f"ends:{pid}"] = True
+        try:
+            for dest in range(P):
+                if manager.is_dead(dest):
+                    continue
+                comm.send(dest, schema.empty(0), tag=TAG_PASS2,
+                          meta={"producer": pid})
+        except FaultError:
+            pass  # this node is dying too; the watchdog takes over
+
+    prog.on_pipeline_failure = on_failure
+
+    # -- own partition range (the primary chain) --------------------------
+
+    _add_merge_chain(
+        prog, node, comm, schema, manager, state,
+        label="", pid=f"p{rank}", runs=runs,
+        pieces=pieces_of(start_globals[rank], totals[rank], outB),
+        total=totals[rank],
+        start_piece=resume["start_piece"], positions=resume["positions"],
+        emitted0=resume["emitted0"], vB=vB, outB=outB, nbuffers=nbuffers,
+        owners=owners, durable_all=durable_all,
+        gate_rank=rank, contender="p" if speculative and totals[rank] > 0
+        else None,
+        gauge_name=f"recovery.progress.{rank}", mlog=mlog, role=None)
+
+    # -- speculative backup of the rank this node buddies for -------------
+
+    if speculative:
+        for r in owners:
+            if r == rank or manager.buddy(r) != rank or totals[r] <= 0:
+                continue
+            bruns = manager.backup_runs_of(r)
+            if not bruns:
+                continue
+            _add_merge_chain(
+                prog, node, comm, schema, manager, state,
+                label=f"bak{r}.", pid=f"b{r}", runs=bruns,
+                pieces=pieces_of(start_globals[r], totals[r], outB),
+                total=totals[r], start_piece=0,
+                positions=[0] * len(bruns), emitted0=0,
+                # whole-run reads: the backups live in contiguous
+                # segment files, so recovery reads pay one seek per run
+                vB=max(n for _, _, n in bruns), outB=outB,
+                nbuffers=nbuffers,
+                owners=owners, durable_all=durable_all,
+                gate_rank=r, contender="b",
+                gauge_name=f"recovery.progress.bak.{r}", mlog=None,
+                role="backup")
+
+    # -- adopted ranges of dead ranks whose backups live here --------------
+
+    for d, adopter in sorted(manager.adopters().items()):
+        if adopter != rank or totals.get(d, 0) <= 0:
+            continue
+        druns = manager.backup_runs_of(d)
+        _add_merge_chain(
+            prog, node, comm, schema, manager, state,
+            label=f"adopt{d}.", pid=f"a{d}", runs=druns,
+            pieces=pieces_of(start_globals[d], totals[d], outB),
+            total=totals[d], start_piece=0,
+            positions=[0] * len(druns), emitted0=0,
+            vB=max(n for _, _, n in druns), outB=outB, nbuffers=nbuffers,
+            owners=owners, durable_all=durable_all,
+            gate_rank=d, contender=None,
+            gauge_name=f"recovery.progress.adopt.{d}", mlog=None,
+            role="adopted")
+
+    # -- receive pipeline: owned pieces under the survivor striping --------
+
+    out_local = RecordFile(node.disk, output_file, schema)
+
+    def receive(ctx):
+        pipeline = ctx.pipelines[0]
+        expected = set(producers)
+        ends: set = set()
+        written = set(durable_own)
+        while not expected <= ends:
+            msg = comm.recv_msg(tag=TAG_PASS2)
+            meta = msg.meta or {}
+            if len(msg.payload) == 0:
+                pid = meta.get("producer")
+                if pid is not None:
+                    ends.add(pid)
+                continue
+            blk = meta["global_block"]
+            if owners[blk % S] != rank:
+                raise SortError(
+                    f"node {rank} received block {blk} owned by node "
+                    f"{owners[blk % S]}")
+            key = (blk, meta["offset"])
+            if key in written:
+                continue  # durable already, or the race's second copy
+            written.add(key)
+            buf = ctx.accept()
+            if buf.is_caboose:  # pipeline poisoned by a downstream failure
+                ctx.forward(buf)
+                return
+            node.compute_copy(msg.payload.nbytes)
+            buf.put(msg.payload)
+            buf.tags.update(msg.meta)
+            ctx.convey(buf)
+        # final (possibly empty) buffer flushes the write stage's
+        # batched journal tail
+        buf = ctx.accept()
+        if buf.is_caboose:
+            ctx.forward(buf)
+            return
+        buf.put(schema.empty(0))
+        buf.tags["last"] = True
+        ctx.convey(buf)
+        ctx.convey_caboose(pipeline)
+
+    pending_pieces: list = []
+
+    def write(ctx, buf):
+        records = buf.view(schema.dtype)
+        if len(records):
+            blk = buf.tags["global_block"]
+            local_start = (blk // S) * outB + buf.tags["offset"]
+            out_local.write(local_start, records)
+            if jrn2 is not None:
+                pending_pieces.append([int(blk),
+                                       int(buf.tags["offset"])])
+        if pending_pieces and (len(pending_pieces) >= policy.journal_every
+                               or buf.tags.get("last")):
+            jrn2.append({"ps": list(pending_pieces)})
+            pending_pieces.clear()
+        return buf
+
+    prog.add_pipeline(
+        "recv", [Stage.source_driven("receive", receive),
+                 Stage.map("write", write)],
+        nbuffers=nbuffers, buffer_bytes=outB * rec_bytes, rounds=None)

@@ -61,6 +61,15 @@ class BlockMerger:
         """Runs whose next block must be fed before merging can continue."""
         return set(self._pending)
 
+    def head_remaining(self, run: Hashable) -> int:
+        """Unconsumed records in ``run``'s current head block (0 if the
+        head is empty or the run finished).  The recovery checkpoint uses
+        this to journal per-run consumed positions without copying."""
+        if run not in self._heads:
+            return 0
+        records, pos = self._heads[run]
+        return len(records) - pos
+
     @property
     def ready(self) -> bool:
         """True when merging can proceed (no run awaits a block)."""

@@ -63,18 +63,26 @@ def verify_partitioned_output(cluster: Cluster, manifest: DatasetManifest,
 
 
 def verify_striped_output(cluster: Cluster, manifest: DatasetManifest,
-                          output_name: str, block_records: int) -> None:
-    """Check a striped output file against the dataset manifest."""
-    schema = manifest.schema
-    striped = StripedFile(cluster, output_name, schema, block_records)
+                          output_name: str, block_records: int,
+                          owners: "list[int] | None" = None) -> None:
+    """Check a striped output file against the dataset manifest.
 
-    # striping first: every node must hold exactly its round-robin share
+    ``owners`` names the ranks the file is striped over (stripe order);
+    defaults to all ranks.  After partition re-assignment the recovery
+    manager passes the survivor layout here.
+    """
+    schema = manifest.schema
+    striped = StripedFile(cluster, output_name, schema, block_records,
+                          owners=owners)
+
+    # striping first: every owner must hold exactly its round-robin share
     # (checked before reading content, so a misplaced layout is diagnosed
     # as such rather than as a read error)
     total_blocks = -(-manifest.total_records // block_records)
-    for rank, local in enumerate(striped.locals):
+    for rank in sorted(set(striped.owners)):
+        local = striped.locals[rank]
         owned = [b for b in range(total_blocks)
-                 if b % cluster.n_nodes == rank]
+                 if striped.node_of_block(b) == rank]
         expected_records = sum(
             min(block_records, manifest.total_records - b * block_records)
             for b in owned)

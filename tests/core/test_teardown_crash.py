@@ -1,0 +1,77 @@
+"""Teardown under a node crash: poisoning stays pipeline-local.
+
+The recovery manager (repro.recover) leans on one FG-level guarantee:
+when a node crash surfaces as a permanent fault inside one pipeline's
+stage, only that pipeline is poisoned — a sibling pipeline of the same
+program that is still draining finishes every round, and the program's
+buffer pools come back clean under FGSan.  Without this, partition
+re-assignment could not reuse the surviving pipelines' teardown path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core import FGProgram, Stage
+from repro.errors import FaultInjected, PipelineFailed, RetryExhausted
+from repro.faults import FaultPlan
+from repro.sim import VirtualTimeKernel
+
+
+def test_node_crash_mid_drain_poisons_only_its_own_pipeline():
+    kernel = VirtualTimeKernel()
+    kernel.enable_metrics()
+    # rank 0 dies at t=0.02; the doomed pipeline's stage is the only
+    # one touching its (now dead) disk
+    plan = FaultPlan(seed=3).with_node_crash(rank=0, at=0.02)
+    cluster = Cluster(n_nodes=2, kernel=kernel, fault_plan=plan)
+    node = cluster.nodes[0]
+    drained = []
+    failure = []
+
+    def driver():
+        prog = FGProgram(kernel, name="crashy", sanitize=True)
+        payload = np.zeros(64, dtype=np.uint8)
+
+        def doomed(ctx, buf):
+            node.disk.write("scratch", 0, payload)
+            return buf
+
+        def sibling(ctx, buf):
+            kernel.sleep(0.01)  # still mid-drain when the node dies
+            drained.append(buf.round)
+            return buf
+
+        prog.add_pipeline("doomed", [Stage.map("ops", doomed)],
+                          nbuffers=2, buffer_bytes=8, rounds=8)
+        prog.add_pipeline("sibling", [Stage.map("drain", sibling)],
+                          nbuffers=2, buffer_bytes=8, rounds=8)
+        try:
+            prog.run()
+        except PipelineFailed as exc:
+            failure.append(exc)
+
+    kernel.spawn(driver, name="driver")
+    kernel.run()
+
+    # the sibling pipeline drained every round despite the crash
+    assert drained == list(range(8))
+    # the failure names exactly the doomed pipeline, caused by the crash
+    exc = failure[0] if failure else None
+    assert isinstance(exc, PipelineFailed)
+    assert exc.pipelines == ["doomed"]
+    cause = exc.failures[0].cause
+    if isinstance(cause, RetryExhausted):
+        cause = cause.last
+    assert isinstance(cause, FaultInjected)
+    assert cause.permanent
+    assert "crash" in str(cause)
+    # poisoning is observable and pipeline-local
+    counters = kernel.metrics.snapshot()["counters"]
+    assert counters["fg.crashy.pipeline.doomed.poisoned"]["value"] == 1
+    assert "fg.crashy.pipeline.sibling.poisoned" not in counters
+    # FGSan audited the teardown (sanitize=True): reaching this point
+    # without a SanitizerError means every stranded buffer made it back
+    # to its pool
+    assert counters["fg.crashy.pipeline.doomed.buffers_drained"][
+        "value"] >= 1

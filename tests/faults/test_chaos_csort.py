@@ -1,0 +1,47 @@
+"""Chaos coverage for csort: transient faults, deterministic reports.
+
+csort has no pass-level recovery — every fault it survives is absorbed
+by the disk/NIC retry layer — so its chaos harness covers exactly the
+transient fault model and refuses plans it cannot recover from.
+"""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultPlan, run_chaos_csort
+from repro.prov import replay
+
+SEED = 77
+
+
+def test_chaos_csort_survives_transients_and_verifies():
+    report = run_chaos_csort(seed=SEED)
+    assert report.sorter == "csort"
+    assert report.verified
+    assert report.pass_restarts == 0
+    assert report.fault_summary["total"] > 0
+    assert report.recovery_decisions == []
+
+
+def test_chaos_csort_is_deterministic():
+    one = run_chaos_csort(seed=SEED)
+    two = run_chaos_csort(seed=SEED)
+    assert one.output_digest == two.output_digest
+    assert one.trace_digest == two.trace_digest
+    assert one.metrics_digest == two.metrics_digest
+    assert one.fault_events == two.fault_events
+
+
+def test_chaos_csort_record_replays_byte_exactly():
+    report = run_chaos_csort(seed=SEED, records_per_node=432,
+                             out_block_records=32)
+    assert report.provenance is not None
+    assert report.provenance.kind == "chaos_csort"
+    result = replay(report.provenance)
+    assert result.ok, result.describe()
+
+
+def test_chaos_csort_refuses_node_crash_plans():
+    plan = FaultPlan(seed=SEED).with_node_crash(rank=0, at=0.1)
+    with pytest.raises(FaultError, match="node-crash"):
+        run_chaos_csort(seed=SEED, plan=plan)

@@ -1,0 +1,74 @@
+"""Speculative backup execution: stragglers lose the race, bytes don't.
+
+A 3x-slowed node's pass-2 merge is raced by a backup merge on its buddy
+(fed from the backup run copies pass 1 deposited there).  First to
+finish the range wins; the loser tears down through the normal
+SpeculationLost path.  Whoever wins, the output must stay byte-identical
+to the clean run — and with the straggler slow enough, the backup wins
+and the run beats the unaided one.
+"""
+
+from repro.faults import FaultPlan, run_chaos_dsort
+from repro.recover import RecoverPolicy, SpeculationPolicy
+
+SEED = 42
+#: read-heavy merge geometry: plenty of offloadable seek work
+GEOM = dict(block_records=256, vertical_block_records=64,
+            out_block_records=256)
+
+
+def spec_policy():
+    return RecoverPolicy(
+        checkpoint=False, backup_runs=True,
+        speculation=SpeculationPolicy(interval=0.01, patience=2,
+                                      min_progress=0.02))
+
+
+def straggler_plan(start):
+    return FaultPlan(seed=SEED).with_straggler(rank=1, slowdown=3.0,
+                                               start=start)
+
+
+def test_speculation_beats_the_straggler_and_preserves_bytes():
+    clean = run_chaos_dsort(seed=SEED, plan=FaultPlan(seed=SEED),
+                            recover=RecoverPolicy(checkpoint=False),
+                            **GEOM)
+    # straggle rank 1 from pass 2 on (pass 2 starts well before 60% of
+    # the clean elapsed time)
+    start = 0.5 * clean.elapsed
+    base = run_chaos_dsort(seed=SEED, plan=straggler_plan(start),
+                           recover=RecoverPolicy(checkpoint=False),
+                           **GEOM)
+    spec = run_chaos_dsort(seed=SEED, plan=straggler_plan(start),
+                           recover=spec_policy(), **GEOM)
+    assert spec.verified
+    assert spec.output_digest == clean.output_digest
+    assert base.output_digest == clean.output_digest
+    kinds = [d["kind"] for d in spec.recovery_decisions]
+    assert "speculate" in kinds, spec.recovery_decisions
+    assert "winner" in kinds
+    # the race must pay for itself
+    assert spec.elapsed < base.elapsed
+
+
+def test_speculation_is_deterministic():
+    start = 0.2
+    one = run_chaos_dsort(seed=SEED, plan=straggler_plan(start),
+                          recover=spec_policy(), **GEOM)
+    two = run_chaos_dsort(seed=SEED, plan=straggler_plan(start),
+                          recover=spec_policy(), **GEOM)
+    assert one.output_digest == two.output_digest
+    assert one.trace_digest == two.trace_digest
+    assert one.recovery_decisions == two.recovery_decisions
+
+
+def test_speculation_on_a_healthy_cluster_stays_quiet():
+    # default watcher thresholds: natural skew between healthy ranks
+    # must not trip the straggler detector
+    policy = RecoverPolicy(checkpoint=False, backup_runs=True,
+                           speculation=SpeculationPolicy())
+    report = run_chaos_dsort(seed=SEED, plan=FaultPlan(seed=SEED),
+                             recover=policy, **GEOM)
+    assert report.verified
+    kinds = {d["kind"] for d in report.recovery_decisions}
+    assert "speculate" not in kinds, report.recovery_decisions

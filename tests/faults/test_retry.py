@@ -60,6 +60,14 @@ def test_jitter_shaves_a_deterministic_fraction():
     assert all(0.05 <= d <= 0.1 for d in first)
 
 
+def test_jittered_backoff_without_rng_is_an_error():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+    with pytest.raises(FaultError, match="seeded rng"):
+        policy.backoff(1)
+    # jitterless policies never need an RNG
+    assert RetryPolicy(jitter=0.0).backoff(1) == pytest.approx(1e-3)
+
+
 def test_permanent_fault_fails_fast():
     slept = []
     policy = RetryPolicy(max_attempts=5)
