@@ -1,27 +1,65 @@
-"""repro.check: static pipeline linter + dynamic buffer sanitizer (FGSan).
+"""repro.check: static analysis + dynamic checkers for FG programs.
 
-Two layers of correctness analysis over FG programs (docs/ANALYSIS.md):
+Three layers of correctness analysis over FG programs (docs/ANALYSIS.md):
 
-* :mod:`repro.check.linter` — rule-based static analysis of an
-  assembled :class:`~repro.core.program.FGProgram`; runs automatically
-  in ``start()`` and standalone via ``repro lint``.
-* :mod:`repro.check.sanitizer` — FGSan, the opt-in runtime
-  buffer-ownership tracker (``FGProgram(sanitize=True)`` or
-  ``REPRO_SANITIZE=1``).
+* :mod:`repro.check.linter` — rule-based static analysis (FG101–FG114)
+  of an assembled :class:`~repro.core.program.FGProgram`; runs
+  automatically in ``start()`` and standalone via ``repro lint``.
+* :mod:`repro.check.dataflow` — the shared bytecode walker behind the
+  linter's provenance rules and the planner's resource signatures, plus
+  FGPar: per-stage read/write effect sets and the
+  ``pure`` / ``read_shared`` / ``write_shared`` parallel-safety verdict
+  recorded into :class:`repro.plan.ir.StageNode`.
+* :mod:`repro.check.sanitizer` / :mod:`repro.check.races` — the opt-in
+  runtime checkers: FGSan tracks buffer ownership
+  (``FGProgram(sanitize=True)`` / ``REPRO_SANITIZE=1``), FGRace checks
+  shared-cell accesses for happens-before ordering
+  (``FGProgram(race_detect=True)`` / ``REPRO_RACE=1``, ``strict`` for
+  the static-coverage cross-check).
 """
 
+from repro.check.dataflow import (
+    PURE,
+    READ_SHARED,
+    WRITE_SHARED,
+    Cell,
+    Effects,
+    ProgramEffects,
+    classify_fn,
+    fn_effects,
+    program_effects,
+)
 from repro.check.findings import Finding, LintReport, Rule, Severity
-from repro.check.linter import RULES, ignored_rules, lint_program
+from repro.check.linter import (
+    RULES,
+    ignored_rules,
+    lint_program,
+    normalize_rule_ids,
+)
+from repro.check.races import RaceDetector, RaceFinding, race_from_env
 from repro.check.sanitizer import Sanitizer, sanitize_from_env
 
 __all__ = [
+    "Cell",
+    "Effects",
     "Finding",
     "LintReport",
+    "ProgramEffects",
+    "PURE",
+    "READ_SHARED",
+    "RaceDetector",
+    "RaceFinding",
     "Rule",
     "RULES",
     "Sanitizer",
     "Severity",
+    "WRITE_SHARED",
+    "classify_fn",
+    "fn_effects",
     "ignored_rules",
     "lint_program",
+    "normalize_rule_ids",
+    "program_effects",
+    "race_from_env",
     "sanitize_from_env",
 ]

@@ -1,0 +1,837 @@
+"""FGPar: static parallel-safety effect analysis over stage bytecode.
+
+This module is the *one* bytecode walker behind every static analysis in
+the repo.  Before it existed there were two independent walks — FG109's
+provenance scan in :mod:`repro.check.linter` and ``resource_classes`` in
+:mod:`repro.plan.fuse` — that drifted whenever either learned a new
+opcode.  Both now delegate here, and on top of the shared walk this
+module adds what the true-parallel backend (ROADMAP item 2) needs:
+per-stage *effect sets* and a ``parallel_safety`` classification.
+
+Three layers, bottom to top:
+
+* :func:`iter_code_objects` — the walk itself.  ``follow_callables=True``
+  reproduces the historical closure-/global-following frontier (used by
+  the EOS scan, FG109 evidence, and resource signatures, which must see
+  helper functions a stage calls); ``follow_callables=False`` restricts
+  the walk to the function's own code plus nested code constants, which
+  is the right scope for *effects*: a sibling closure shared between two
+  stage functions acts on behalf of whichever stage calls it, and
+  attributing its writes to both would fabricate cross-stage races.
+* :func:`fn_effects` — an abstract interpretation of the restricted walk
+  that infers which *cells* (closure variables, module globals, and
+  attribute/const-key-subscript slots of objects reached through them) a
+  stage function reads and writes.  Names defined inside the stage
+  function (cellvars of its own nested functions) are invocation-local
+  and never shared.
+* :func:`classify_fn` / :func:`program_effects` — the verdicts: every
+  stage is ``pure`` (touches no shared mutable state), ``read_shared``,
+  or ``write_shared``; :class:`ProgramEffects` intersects the per-stage
+  cell sets into the cross-stage conflict pairs that FG110 and the
+  FGRace cross-check consume.
+
+Cells are identified by the ``id()`` of the base object resolved at
+analysis time, refined by a constant subscript key or attribute name
+when the bytecode shows one.  A mutation with no visible key (e.g.
+``state.pop(k)``) is a whole-object write and conflicts with any keyed
+access of the same object; a keyed write conflicts with same-key
+accesses and whole-object *writes* (a whole-object *read* is usually a
+method call the scan could not classify — weak evidence, deliberately
+not a conflict).  Variable-key subscripts are a known false negative,
+exactly as documented for FG109.
+"""
+
+from __future__ import annotations
+
+import builtins
+import dataclasses
+import dis
+import inspect
+import io
+import sys
+import threading
+import types
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "PURE",
+    "READ_SHARED",
+    "WRITE_SHARED",
+    "Cell",
+    "Effects",
+    "ProgramEffects",
+    "StageEffects",
+    "cells_conflict",
+    "classify_fn",
+    "fn_effects",
+    "iter_code_objects",
+    "program_effects",
+    "reachable_names",
+    "shared_state_evidence",
+    "unserializable_captures",
+]
+
+#: the three parallel-safety verdicts, as stable strings (they go into
+#: ``ProgramGraph.canonical()`` and therefore the provenance fingerprint)
+PURE = "pure"
+READ_SHARED = "read_shared"
+WRITE_SHARED = "write_shared"
+
+#: method names whose call on a shared container is treated as mutation.
+#: Deliberately omits ambiguous names (``sort``, ``write``, ``reverse``)
+#: that are common as *pure* methods on schema/file objects.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "setdefault", "remove", "discard", "clear",
+})
+
+#: opcodes that pass the provenance of the value under construction
+#: through unchanged (subscripts, arithmetic, stack shuffling).
+TRANSPARENT_OPS = frozenset({
+    "LOAD_CONST", "BINARY_SUBSCR", "BINARY_SLICE", "BINARY_OP",
+    "UNARY_NEGATIVE", "UNARY_NOT", "UNARY_INVERT",
+    "COPY", "SWAP", "DUP_TOP", "DUP_TOP_TWO",
+    "ROT_TWO", "ROT_THREE", "ROT_FOUR", "CACHE", "EXTENDED_ARG",
+})
+
+#: values of these types cannot hold cross-stage mutable state (for the
+#: method-call branch; *rebinding* them is still a write to their cell).
+IMMUTABLE_TYPES = (type(None), bool, int, float, complex, str, bytes,
+                   tuple, frozenset, types.FunctionType,
+                   types.BuiltinFunctionType, types.ModuleType, type)
+
+_UNKNOWN = object()
+
+
+def _is_method_load(instr: dis.Instruction) -> bool:
+    """True when this instruction loads an attribute *as a callee* (the
+    compiler's method-call form), as opposed to a plain attribute read.
+    3.11 has a dedicated LOAD_METHOD; 3.12+ folds it into LOAD_ATTR with
+    the low oparg bit set."""
+    if instr.opname == "LOAD_METHOD":
+        return True
+    if instr.opname == "LOAD_ATTR" and sys.version_info >= (3, 12):
+        return bool(instr.arg) and bool(instr.arg & 1)
+    return False
+
+
+def _is_callee_global(instr: dis.Instruction) -> bool:
+    """True when a LOAD_GLOBAL is in callee position (the low oparg bit
+    asks for the NULL push that precedes a call, 3.11+)."""
+    return (instr.opname == "LOAD_GLOBAL"
+            and bool(instr.arg) and bool(instr.arg & 1))
+
+
+# -- the shared walk --------------------------------------------------------
+
+
+def iter_code_objects(fn: Callable[..., Any], *,
+                      follow_callables: bool = True,
+                      max_depth: int = 4) -> Iterator[types.CodeType]:
+    """Yield ``fn``'s code object and those reachable from it.
+
+    Always recurses through nested code constants (inner functions and
+    comprehensions).  With ``follow_callables`` it additionally follows
+    closure cells holding functions and module-global functions the code
+    references by name — the historical FG104/FG109/resource-class
+    frontier.  Bounded by ``max_depth`` and a seen-set, so arbitrary
+    user code cannot loop the scan.
+    """
+    seen: set[int] = set()
+    frontier: list[tuple[Any, int]] = [(fn, 0)]
+    while frontier:
+        obj, depth = frontier.pop()
+        func = inspect.unwrap(obj) if callable(obj) else obj
+        code = getattr(func, "__code__", None)
+        if isinstance(obj, types.CodeType):
+            code = obj
+        if code is None or id(code) in seen or depth > max_depth:
+            continue
+        seen.add(id(code))
+        yield code
+        for const in code.co_consts:
+            if isinstance(const, types.CodeType):
+                frontier.append((const, depth + 1))
+        if not follow_callables:
+            continue
+        closure = getattr(func, "__closure__", None) or ()
+        globals_ns = getattr(func, "__globals__", {})
+        for cell in closure:
+            try:
+                value = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                continue
+            if callable(value):
+                frontier.append((value, depth + 1))
+        for name in code.co_names:
+            value = globals_ns.get(name)
+            if isinstance(value, types.FunctionType):
+                frontier.append((value, depth + 1))
+
+
+def reachable_names(fn: Callable[..., Any]) -> frozenset[str]:
+    """Every ``co_names`` entry reachable from ``fn`` under the full
+    closure-following walk — the input to resource-class signatures."""
+    names: set[str] = set()
+    for code in iter_code_objects(fn):
+        names.update(code.co_names)
+    return frozenset(names)
+
+
+def _closure_cell(fn: Callable[..., Any], name: str) -> Any:
+    """The cell object binding free variable ``name`` of ``fn``, or
+    ``_UNKNOWN``."""
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is None or closure is None:
+        return _UNKNOWN
+    try:
+        return closure[code.co_freevars.index(name)]
+    except (ValueError, IndexError):
+        return _UNKNOWN
+
+
+def _closure_value(fn: Callable[..., Any], name: str) -> Any:
+    """The object a free variable of ``fn`` is bound to, or ``_UNKNOWN``."""
+    cell = _closure_cell(fn, name)
+    if cell is _UNKNOWN:
+        return _UNKNOWN
+    try:
+        return cell.cell_contents
+    except ValueError:  # pragma: no cover - empty cell
+        return _UNKNOWN
+
+
+# -- FG109 parity layer -----------------------------------------------------
+
+
+def shared_state_evidence(fn: Callable[..., Any]) -> list[str]:
+    """Evidence strings that ``fn`` mutates state its replicas share.
+
+    A linear bytecode walk tracking coarse provenance of the object under
+    construction: a load from a free variable or a module global marks it
+    *shared*, a load from a local marks it *private*, and subscript /
+    attribute / stack ops preserve the mark.  Mutation evidence is then
+
+    * a mutating method (``append``, ``update``, ...) looked up on a
+      shared object,
+    * ``STORE_SUBSCR`` / ``STORE_ATTR`` whose target is shared,
+    * rebinding a free variable (``STORE_DEREF``) or a global.
+
+    Heuristic by design: it follows only straight-line provenance, so
+    aliasing through locals escapes it — but that is exactly the
+    contract FG109 documents (it catches the idiomatic per-round
+    accumulator, not adversarial code).
+    """
+    globals_ns = getattr(inspect.unwrap(fn), "__globals__", {})
+    evidence: list[str] = []
+
+    def shared_global(name: str) -> bool:
+        value = globals_ns.get(name, getattr(builtins, name, _UNKNOWN))
+        if value is _UNKNOWN:
+            return False
+        return not isinstance(value, IMMUTABLE_TYPES)
+
+    def shared_free(name: str) -> bool:
+        value = _closure_value(fn, name)
+        if value is _UNKNOWN:
+            return True  # unresolvable cell: assume shared
+        return not isinstance(value, IMMUTABLE_TYPES)
+
+    for code in iter_code_objects(fn):
+        base_shared = False
+        base_name = ""
+        for instr in dis.get_instructions(code):
+            op = instr.opname
+            if op in ("LOAD_DEREF", "LOAD_CLASSDEREF"):
+                base_name = str(instr.argval)
+                base_shared = (base_name in code.co_freevars
+                               and shared_free(base_name))
+            elif op == "LOAD_GLOBAL":
+                base_name = str(instr.argval)
+                base_shared = shared_global(base_name)
+            elif op in ("LOAD_METHOD", "LOAD_ATTR"):
+                if base_shared and instr.argval in MUTATING_METHODS:
+                    evidence.append(
+                        f"calls .{instr.argval}() on shared "
+                        f"{base_name!r}")
+                    base_shared = False
+            elif op == "STORE_SUBSCR":
+                if base_shared:
+                    evidence.append(
+                        f"assigns into shared {base_name!r}")
+                base_shared = False
+            elif op == "STORE_ATTR":
+                if base_shared:
+                    evidence.append(
+                        f"sets .{instr.argval} on shared {base_name!r}")
+                base_shared = False
+            elif op == "STORE_DEREF":
+                if instr.argval in code.co_freevars:
+                    evidence.append(
+                        f"rebinds closure variable {instr.argval!r}")
+                base_shared = False
+            elif op == "STORE_GLOBAL":
+                evidence.append(f"rebinds global {instr.argval!r}")
+                base_shared = False
+            elif op.startswith("LOAD_FAST"):
+                base_shared = False
+                base_name = str(instr.argval)
+            elif op not in TRANSPARENT_OPS:
+                base_shared = False
+    return evidence
+
+
+# -- effect extraction ------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One shared mutable location a stage function can touch.
+
+    Identity (``obj_id`` + ``key``) is what conflict detection compares;
+    ``label`` is the deterministic human-readable name (never an id), so
+    findings and race reports read like the source.
+    """
+
+    #: ``id()`` of the resolved base object; 0 for unresolvable cells
+    obj_id: int
+    #: ``"['k']"`` for a const-key subscript slot, ``".attr"`` for an
+    #: attribute slot, None for the whole object
+    key: Optional[str]
+    label: str = dataclasses.field(compare=False, hash=False, default="")
+
+    @property
+    def resolved(self) -> bool:
+        return self.obj_id != 0
+
+    def __str__(self) -> str:
+        return self.label or f"<cell {self.obj_id}{self.key or ''}>"
+
+
+def cells_conflict(a: Cell, b: Cell, *, a_writes: bool,
+                   b_writes: bool) -> bool:
+    """True when accesses to ``a`` and ``b`` can touch the same memory.
+
+    Requires the same resolved base object and at least one write.  A
+    whole-object write conflicts with everything on the object; a keyed
+    write conflicts with same-key accesses and whole-object writes (a
+    whole-object read — usually an unclassified method call — is
+    deliberately not enough evidence against a keyed write).
+    """
+    if not (a_writes or b_writes):
+        return False
+    if not a.resolved or not b.resolved or a.obj_id != b.obj_id:
+        return False
+    if a.key == b.key:
+        return True
+    if a.key is None:
+        return a_writes
+    if b.key is None:
+        return b_writes
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class Effects:
+    """The inferred effect sets of one stage function."""
+
+    reads: frozenset[Cell]
+    writes: frozenset[Cell]
+    #: shared names the scan could not resolve to an object but saw
+    #: written (rebind of an unresolvable closure cell, ...)
+    unresolved_writes: tuple[str, ...] = ()
+    #: FG111 evidence: ways an alias of the stage's buffer can outlive
+    #: its convey
+    buffer_escapes: tuple[str, ...] = ()
+
+    @property
+    def classification(self) -> str:
+        if self.writes or self.unresolved_writes:
+            return WRITE_SHARED
+        if self.reads:
+            return READ_SHARED
+        return PURE
+
+
+class _EffectScan:
+    """One abstract-interpretation pass over a stage function."""
+
+    def __init__(self, fn: Callable[..., Any],
+                 buffer_param: Optional[str]) -> None:
+        self.fn = inspect.unwrap(fn)
+        self.globals_ns: dict[str, Any] = getattr(
+            self.fn, "__globals__", {})
+        code0 = getattr(self.fn, "__code__", None)
+        #: free variables of the stage function itself — the only names
+        #: that can reach state shared with other stages
+        self.own_free: frozenset[str] = frozenset(
+            code0.co_freevars) if code0 is not None else frozenset()
+        self.buffer_param = buffer_param
+        self.reads: set[Cell] = set()
+        self.writes: set[Cell] = set()
+        self.unresolved_writes: set[str] = set()
+        self.escapes: list[str] = []
+
+    # -- cell construction ----------------------------------------------
+
+    def _free_base(self, name: str) -> Optional[Cell]:
+        """Cell for the object a shared free variable holds, or None
+        when the value is immutable (nothing to race on)."""
+        value = _closure_value(self.fn, name)
+        if value is _UNKNOWN:
+            return Cell(0, None, name)
+        if isinstance(value, IMMUTABLE_TYPES):
+            return None
+        return Cell(id(value), None, name)
+
+    def _global_base(self, name: str) -> Optional[Cell]:
+        value = self.globals_ns.get(
+            name, getattr(builtins, name, _UNKNOWN))
+        if value is _UNKNOWN or isinstance(value, IMMUTABLE_TYPES):
+            return None
+        return Cell(id(value), None, name)
+
+    def _deref_write_cell(self, name: str) -> Cell:
+        """The cell a ``nonlocal``-style rebind writes: the closure cell
+        object itself (shared by every function capturing the variable)."""
+        cell = _closure_cell(self.fn, name)
+        if cell is _UNKNOWN:
+            return Cell(0, None, name)
+        return Cell(id(cell), None, name)
+
+    # -- the walk -------------------------------------------------------
+
+    def run(self) -> Effects:
+        for code in iter_code_objects(self.fn, follow_callables=False):
+            self._scan_code(code)
+        return Effects(
+            reads=frozenset(self.reads), writes=frozenset(self.writes),
+            unresolved_writes=tuple(sorted(self.unresolved_writes)),
+            buffer_escapes=tuple(self.escapes))
+
+    def _record_write(self, cell: Cell) -> None:
+        if cell.resolved:
+            self.writes.add(cell)
+        else:
+            self.unresolved_writes.add(cell.label)
+
+    def _scan_code(self, code: types.CodeType) -> None:
+        # provenance register: the shared cell (if any) of the value
+        # most recently constructed, plus the alias flags FG111 needs
+        base: Optional[Cell] = None
+        base_key: Optional[str] = None  # const key loaded after base
+        reg_alias = False               # register holds a buffer alias
+        alias_pending = False           # an alias was loaded and not yet
+        #                                 consumed (value side of a store)
+        alias_locals: set[str] = set()
+        if self.buffer_param is not None \
+                and self.buffer_param in code.co_varnames:
+            alias_locals.add(self.buffer_param)
+        # pending-callee stack: one entry per callee load not yet
+        # consumed by a CALL, so nested argument calls (``len(records)``
+        # inside ``shared.append(...)``) pair with *their own* CALL and
+        # never launder — or trip — the outer mutator.  Entries are
+        # ("mut", label) for a mutating method on a shared base,
+        # ("alias_fn", None) for ``ctx.accept`` / ``buf.view`` whose
+        # result aliases the buffer, ("fn", None) for anything else.
+        pending: list[tuple[str, Optional[str]]] = []
+        call_made_alias = False
+
+        for instr in dis.get_instructions(code):
+            op = instr.opname
+            if op in ("LOAD_DEREF", "LOAD_CLASSDEREF"):
+                name = str(instr.argval)
+                base_key = None
+                reg_alias = False
+                if name in self.own_free:
+                    base = self._free_base(name)
+                else:
+                    base = None  # interior (stage-private) variable
+            elif op == "LOAD_GLOBAL":
+                base = self._global_base(str(instr.argval))
+                base_key = None
+                reg_alias = False
+                if _is_callee_global(instr):
+                    pending.append(("fn", None))
+            elif op.startswith("LOAD_FAST"):
+                name = str(instr.argval)
+                base = None
+                base_key = None
+                reg_alias = name in alias_locals
+                if reg_alias:
+                    alias_pending = True
+            elif op == "LOAD_CONST":
+                if base is not None and base.key is None \
+                        and isinstance(instr.argval, (str, int)):
+                    base_key = f"[{instr.argval!r}]"
+                # const loads never clobber the register (transparent)
+            elif op in ("LOAD_METHOD", "LOAD_ATTR"):
+                attr = str(instr.argval)
+                is_method = _is_method_load(instr)
+                if base is not None:
+                    if attr in MUTATING_METHODS and is_method:
+                        cell = dataclasses.replace(
+                            base, key=base.key or base_key,
+                            label=self._slot_label(base, base_key))
+                        self._record_write(cell)
+                        pending.append(("mut", cell.label))
+                        base = None
+                    else:
+                        slot = Cell(base.obj_id, f".{attr}",
+                                    f"{base.label}.{attr}")
+                        self.reads.add(slot if base.key is None
+                                       else base)
+                        base = slot
+                        if is_method:
+                            pending.append(("fn", None))
+                    base_key = None
+                elif reg_alias and attr == "data":
+                    pass  # buf.data: register stays an alias
+                elif reg_alias:
+                    if is_method and attr == "view":
+                        pending.append(("alias_fn", None))
+                    elif is_method:
+                        pending.append(("fn", None))
+                        reg_alias = False
+                    else:
+                        reg_alias = False
+                elif attr == "accept" and is_method:
+                    pending.append(("alias_fn", None))
+                elif is_method:
+                    pending.append(("fn", None))
+            elif op == "BINARY_SUBSCR":
+                if base is not None:
+                    key = base.key or base_key
+                    cell = dataclasses.replace(
+                        base, key=key, label=self._slot_label(
+                            base, base_key))
+                    self.reads.add(cell)
+                    base = cell
+                    base_key = None
+                # subscripting an alias keeps the alias (a slice of the
+                # buffer's data still views its memory)
+            elif op == "BINARY_SLICE":
+                base_key = None
+            elif op == "STORE_SUBSCR":
+                if base is not None:
+                    key = base.key or base_key
+                    cell = dataclasses.replace(
+                        base, key=key,
+                        label=self._slot_label(base, base_key))
+                    self._record_write(cell)
+                    if alias_pending:
+                        self.escapes.append(
+                            f"stores a buffer alias into shared "
+                            f"{cell.label!r}")
+                base = None
+                base_key = None
+                alias_pending = False
+                reg_alias = False
+            elif op == "STORE_ATTR":
+                if base is not None:
+                    attr = str(instr.argval)
+                    cell = Cell(base.obj_id, f".{attr}",
+                                f"{base.label}.{attr}")
+                    self._record_write(cell)
+                    if alias_pending:
+                        self.escapes.append(
+                            f"stores a buffer alias into shared "
+                            f"{cell.label!r}")
+                base = None
+                base_key = None
+                alias_pending = False
+                reg_alias = False
+            elif op == "STORE_DEREF":
+                name = str(instr.argval)
+                if name in self.own_free:
+                    self._record_write(self._deref_write_cell(name))
+                    if alias_pending or reg_alias:
+                        self.escapes.append(
+                            f"stows a buffer alias in closure variable "
+                            f"{name!r}")
+                base = None
+                base_key = None
+                alias_pending = False
+                reg_alias = False
+            elif op == "STORE_GLOBAL":
+                name = str(instr.argval)
+                self._record_write(
+                    Cell(id(self.globals_ns), f"[{name!r}]",
+                         f"global {name}"))
+                if alias_pending or reg_alias:
+                    self.escapes.append(
+                        f"stows a buffer alias in global {name!r}")
+                base = None
+                base_key = None
+                alias_pending = False
+                reg_alias = False
+            elif op.startswith("STORE_FAST"):
+                name = str(instr.argval)
+                if reg_alias or call_made_alias:
+                    alias_locals.add(name)
+                else:
+                    alias_locals.discard(name)
+                base = None
+                base_key = None
+                alias_pending = False
+                reg_alias = False
+                call_made_alias = False
+            elif (op.startswith("CALL")
+                    and not op.startswith("CALL_INTRINSIC")) \
+                    or op == "PRECALL":
+                if op == "PRECALL":
+                    continue  # 3.11 companion opcode; CALL follows
+                kind, label = pending.pop() if pending else ("fn", None)
+                if kind == "mut" and (alias_pending or reg_alias):
+                    self.escapes.append(
+                        f"passes a buffer alias into shared "
+                        f"{label!r}")
+                call_made_alias = kind == "alias_fn"
+                base = None
+                base_key = None
+                # an alias-producing call leaves an alias on the stack,
+                # still pending as e.g. an argument of an enclosing call
+                alias_pending = call_made_alias
+                reg_alias = call_made_alias
+            elif op in TRANSPARENT_OPS:
+                continue
+            else:
+                base = None
+                base_key = None
+                reg_alias = False
+
+    @staticmethod
+    def _slot_label(base: Cell, base_key: Optional[str]) -> str:
+        key = base.key or base_key
+        if key is None:
+            return base.label
+        if base.key is not None:
+            return base.label
+        return f"{base.label}{key}"
+
+
+def fn_effects(fn: Callable[..., Any], *,
+               buffer_param: Optional[str] = None) -> Effects:
+    """Infer the shared-state effect sets of one stage function.
+
+    Walks the function's own code and nested code constants only (see
+    the module docstring for why sibling closures are excluded), except
+    that a *fused* stage (``repro.plan.fuse``) stamps its constituent
+    functions on the composed one as ``_fg_effect_parts`` and the
+    composition's effects are the union of its parts'.
+    """
+    parts = getattr(fn, "_fg_effect_parts", None)
+    if parts:
+        reads: set[Cell] = set()
+        writes: set[Cell] = set()
+        unresolved: list[str] = []
+        escapes: list[str] = []
+        for part in parts:
+            eff = fn_effects(part, buffer_param=_buffer_param_of(part))
+            reads.update(eff.reads)
+            writes.update(eff.writes)
+            unresolved.extend(eff.unresolved_writes)
+            escapes.extend(eff.buffer_escapes)
+        return Effects(frozenset(reads), frozenset(writes),
+                       tuple(sorted(set(unresolved))), tuple(escapes))
+    return _EffectScan(fn, buffer_param).run()
+
+
+def _buffer_param_of(fn: Callable[..., Any]) -> Optional[str]:
+    """Name of the buffer parameter of a map-style ``fn(ctx, buf)``."""
+    code = getattr(inspect.unwrap(fn), "__code__", None)
+    if code is None or code.co_argcount < 2:
+        return None
+    return code.co_varnames[1]
+
+
+def classify_fn(fn: Optional[Callable[..., Any]], *,
+                style: str = "map") -> Optional[str]:
+    """``pure`` / ``read_shared`` / ``write_shared`` for a stage
+    function; None when there is no function to classify."""
+    if fn is None:
+        return None
+    buffer_param = _buffer_param_of(fn) if style == "map" else None
+    return fn_effects(fn, buffer_param=buffer_param).classification
+
+
+# -- FG114: unserializable captures ----------------------------------------
+
+
+#: types a stage closure cannot carry across a process boundary.
+#: Deliberately *excludes* FG-native objects (Kernel, Process, Channel):
+#: those have kernel-level identity a multiprocessing backend proxies
+#: itself, and control channels are idiomatic FG (fork/join gating) —
+#: flagging them would warn on every coordinating stage.
+_UNSERIALIZABLE_TYPES: tuple[type, ...] = (
+    io.IOBase, types.GeneratorType, type(threading.Lock()),
+    type(threading.RLock()), threading.Thread, threading.Event,
+    threading.Condition)
+
+
+def unserializable_captures(fn: Callable[..., Any]) -> list[str]:
+    """Names of closure cells / globals of ``fn`` directly holding a
+    value that cannot cross a process boundary (raw lock, open file
+    handle, generator, thread).
+
+    Direct captures only: an object that merely *contains* a lock (every
+    cluster node does) serializes via its own reduction, so transitive
+    reachability would flag the entire runtime.
+    """
+    fn = inspect.unwrap(fn)
+    bad = _UNSERIALIZABLE_TYPES
+    found: list[str] = []
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return found
+    for name in code.co_freevars:
+        value = _closure_value(fn, name)
+        if value is not _UNKNOWN and isinstance(value, bad):
+            found.append(
+                f"closure variable {name!r} holds a "
+                f"{type(value).__name__}")
+    globals_ns = getattr(fn, "__globals__", {})
+    for name in sorted(set(code.co_names)):
+        value = globals_ns.get(name, _UNKNOWN)
+        if value is not _UNKNOWN and isinstance(value, bad):
+            found.append(f"global {name!r} holds a "
+                         f"{type(value).__name__}")
+    return found
+
+
+# -- whole-program view -----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StageEffects:
+    """One stage's verdict within a program."""
+
+    name: str
+    pipeline: str
+    style: str
+    effects: Effects
+    classification: Optional[str]
+    #: ``id()`` of the stage function — the runtime key FGRace uses, so
+    #: same-named stages of different programs on one kernel (every node
+    #: of a cluster run) never alias each other's effect sets
+    fn_id: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Conflict:
+    """Two stages that can touch the same cell, at least one writing."""
+
+    stage_a: str
+    stage_b: str
+    pipeline_a: str
+    pipeline_b: str
+    cell: Cell
+    kind: str  # "write-write" | "write-read"
+
+
+@dataclasses.dataclass
+class ProgramEffects:
+    """Per-stage effects + cross-stage conflict pairs for one program."""
+
+    stages: list[StageEffects]
+    #: conflicts between stages that can run concurrently (same pipeline
+    #: or same intersecting-pipeline family) — FG110's scope
+    conflicts: list[Conflict]
+    #: conflicts across the whole program regardless of pipeline
+    #: structure — the FGRace cross-check's prediction set
+    all_conflicts: list[Conflict]
+
+    def stage(self, name: str) -> Optional[StageEffects]:
+        for entry in self.stages:
+            if entry.name == name:
+                return entry
+        return None
+
+    def predicted_pairs(self) -> set[tuple[frozenset[str], int,
+                                           Optional[str]]]:
+        """``(stage-name pair, cell obj_id, cell key)`` for every
+        statically predicted conflict — what the FGRace strict mode
+        checks dynamic races against."""
+        return {(frozenset((c.stage_a, c.stage_b)), c.cell.obj_id,
+                 c.cell.key) for c in self.all_conflicts}
+
+
+def _family_index(graph: Any) -> dict[int, int]:
+    """Union-find over intersecting pipelines: id(PipelineIR) -> family."""
+    index = {id(p): i for i, p in enumerate(graph.pipelines)}
+    parent = {i: i for i in index.values()}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for _stage, pipes in graph.intersections():
+        roots = [find(index[id(p)]) for p in pipes]
+        for r in roots[1:]:
+            parent[r] = roots[0]
+    return {pid: find(i) for pid, i in index.items()}
+
+
+def program_effects(graph: Any) -> ProgramEffects:
+    """Analyze every stage of a :class:`repro.plan.ir.ProgramGraph`.
+
+    Duck-typed on the graph (pipelines / stages / intersections) so this
+    module imports nothing from :mod:`repro.plan` — the IR imports *us*
+    to stamp ``parallel_safety``.
+    """
+    entries: list[StageEffects] = []
+    by_stage: dict[int, tuple[StageEffects, Any]] = {}
+    for p in graph.pipelines:
+        for node in p.stages:
+            s = node.stage
+            if id(s) in by_stage:
+                continue
+            fn = s.fn
+            if fn is None:
+                eff = Effects(frozenset(), frozenset())
+                cls: Optional[str] = None
+            else:
+                buffer_param = (_buffer_param_of(fn)
+                                if node.style == "map" else None)
+                eff = fn_effects(fn, buffer_param=buffer_param)
+                cls = eff.classification
+            entry = StageEffects(name=node.name, pipeline=p.name,
+                                 style=node.style, effects=eff,
+                                 classification=cls,
+                                 fn_id=0 if fn is None else id(fn))
+            entries.append(entry)
+            by_stage[id(s)] = (entry, p)
+    families = _family_index(graph)
+    scoped: list[Conflict] = []
+    everywhere: list[Conflict] = []
+    items = list(by_stage.values())
+    for i, (a, pa) in enumerate(items):
+        for b, pb in items[i + 1:]:
+            found = _pair_conflicts(a, b)
+            everywhere.extend(found)
+            if found and families[id(pa)] == families[id(pb)]:
+                scoped.extend(found)
+    return ProgramEffects(stages=entries, conflicts=scoped,
+                          all_conflicts=everywhere)
+
+
+def _pair_conflicts(a: StageEffects, b: StageEffects) -> list[Conflict]:
+    out: list[Conflict] = []
+    for wa in a.effects.writes:
+        for wb in b.effects.writes:
+            if cells_conflict(wa, wb, a_writes=True, b_writes=True):
+                out.append(Conflict(a.name, b.name, a.pipeline,
+                                    b.pipeline, wa, "write-write"))
+        for rb in b.effects.reads:
+            if cells_conflict(wa, rb, a_writes=True, b_writes=False):
+                out.append(Conflict(a.name, b.name, a.pipeline,
+                                    b.pipeline, wa, "write-read"))
+    for wb in b.effects.writes:
+        for ra in a.effects.reads:
+            if cells_conflict(wb, ra, a_writes=True, b_writes=False):
+                out.append(Conflict(b.name, a.name, b.pipeline,
+                                    a.pipeline, wb, "write-read"))
+    return out

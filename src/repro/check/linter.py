@@ -29,6 +29,16 @@ FG108     error     bounded channel chain provably deadlock-prone
 FG109     error     replicated stage carries per-round mutable state
                     (closure/global/attribute-write heuristic over the
                     stage function's bytecode)
+FG110     warning   two concurrently-runnable stages (same or
+                    intersecting pipelines) write the same shared cell
+FG111     warning   an alias of an accepted buffer's data escapes the
+                    stage and outlives the convey
+FG112     error     a fused stage composes two or more write-carrying
+                    stage functions
+FG113     warning   the end-of-stream declarer writes shared state
+                    other stages of its pipeline also use
+FG114     warning   a stage closes over a kernel/channel/lock/open
+                    file that cannot cross a process boundary
 ========  ========  =====================================================
 
 Suppress individual rules per program with
@@ -39,18 +49,23 @@ Every rule reads the program through the shared graph IR
 (:class:`repro.plan.ir.ProgramGraph`) — the same structural view the
 planner compiles and the provenance fingerprints hash — so structural
 features added to the runtime (replication, dynamic pools, fusion) only
-need to be modelled once.
+need to be modelled once.  FG110–FG114 additionally read the per-stage
+effect sets inferred by :mod:`repro.check.dataflow`, the same analysis
+that stamps ``parallel_safety`` onto every :class:`StageNode`.
 """
 
 from __future__ import annotations
 
-import builtins
-import dis
 import inspect
 import os
-import types
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
 
+from repro.check import dataflow as _dataflow
+from repro.check.dataflow import (
+    iter_code_objects as _iter_code_objects,
+    shared_state_evidence as _shared_state_evidence,
+)
 from repro.check.findings import Finding, LintReport, Rule, Severity
 from repro.plan.ir import ProgramGraph
 from repro.sim.waitfor import WaitForGraph
@@ -59,13 +74,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.program import FGProgram
     from repro.core.stage import Stage
 
-__all__ = ["RULES", "COLLECTOR", "lint_program", "ignored_rules"]
+__all__ = ["RULES", "COLLECTOR", "EFFECTS", "lint_program",
+           "ignored_rules", "normalize_rule_ids"]
 
 #: when the ``repro lint`` CLI executes a program file, it points this at
 #: a list and every :meth:`FGProgram.lint` pass appends
 #: ``(program_name, findings)`` — letting the CLI report findings even
 #: from programs that swallow LintError themselves.
 COLLECTOR: Optional[list[tuple[str, list[Finding]]]] = None
+
+#: companion collector for ``repro lint --effects``: every lint pass
+#: appends ``(program_name, [(pipeline, stage, classification), ...])``
+#: with the parallel-safety verdict of every stage.
+EFFECTS: Optional[list[tuple[str, list[tuple[str, str, str]]]]] = None
 
 
 RULES: dict[str, Rule] = {r.rule_id: r for r in [
@@ -98,16 +119,57 @@ RULES: dict[str, Rule] = {r.rule_id: r for r in [
          "a replicated stage mutates state shared across its copies "
          "(closure or global writes); interchangeable replicas would "
          "race on it and the per-round results become order-dependent"),
+    Rule("FG110", "cross-stage-write-race", Severity.WARNING,
+         "two stages that can hold buffers concurrently (same or "
+         "intersecting pipelines) write the same shared cell; under a "
+         "parallel backend the result becomes schedule-dependent"),
+    Rule("FG111", "conveyed-buffer-escape", Severity.WARNING,
+         "a stage stores an alias of its accepted buffer's data where "
+         "it outlives the convey; the next owner's writes stay visible "
+         "through the stale alias (FGSan only catches this at runtime)"),
+    Rule("FG112", "impure-fused-run", Severity.ERROR,
+         "a fused stage composes two or more write-carrying stage "
+         "functions; fusion must keep at most one shared-state writer "
+         "per run or the write interleaving changes under the fused "
+         "schedule"),
+    Rule("FG113", "caboose-shared-state", Severity.WARNING,
+         "the end-of-stream declarer writes shared state that other "
+         "stages of the same pipeline also use; teardown order between "
+         "the caboose and in-flight buffers is not guaranteed"),
+    Rule("FG114", "unserializable-capture", Severity.WARNING,
+         "a stage function directly captures a kernel, channel, raw "
+         "lock, open file, or generator; the stage cannot cross a "
+         "process boundary on a multiprocessing backend"),
 ]}
+
+
+def normalize_rule_ids(ids: Iterable[str], *,
+                       source: str = "lint_ignore") -> set[str]:
+    """Strip/uppercase rule IDs, warning (not silently ignoring) any
+    that name no known rule — a typo in a suppression list would
+    otherwise disable nothing while looking like it worked."""
+    normalized: set[str] = set()
+    for raw in ids:
+        rule_id = str(raw).strip().upper()
+        if not rule_id:
+            continue
+        if rule_id not in RULES:
+            known = f"FG101..FG{100 + len(RULES)}"
+            warnings.warn(
+                f"{source}: unknown lint rule id {rule_id!r} "
+                f"(known rules: {known})",
+                stacklevel=3)
+        normalized.add(rule_id)
+    return normalized
 
 
 def ignored_rules(extra: Optional[Iterable[str]] = None) -> set[str]:
     """Rule IDs suppressed via ``REPRO_LINT_IGNORE`` plus ``extra``."""
-    ignored = {r.strip().upper()
-               for r in os.environ.get("REPRO_LINT_IGNORE", "").split(",")
-               if r.strip()}
+    ignored = normalize_rule_ids(
+        os.environ.get("REPRO_LINT_IGNORE", "").split(","),
+        source="REPRO_LINT_IGNORE")
     if extra:
-        ignored.update(r.upper() for r in extra)
+        ignored |= normalize_rule_ids(extra)
     return ignored
 
 
@@ -132,46 +194,6 @@ def _positional_bounds(fn: Callable[..., Any]) -> Optional[tuple[int, float]]:
         elif param.kind is param.VAR_POSITIONAL:
             maximum = float("inf")
     return minimum, maximum
-
-
-def _iter_code_objects(fn: Callable[..., Any], *,
-                       max_depth: int = 4) -> Iterator[types.CodeType]:
-    """Yield ``fn``'s code object and those reachable from it.
-
-    Recurses through nested code constants (inner functions and
-    comprehensions), closure cells holding functions (e.g. fork/join
-    loops bound as siblings), and module-global functions the code
-    references by name.  Bounded by ``max_depth`` and a seen-set, so
-    arbitrary user code cannot loop the scan.
-    """
-    seen: set[int] = set()
-    frontier: list[tuple[Any, int]] = [(fn, 0)]
-    while frontier:
-        obj, depth = frontier.pop()
-        func = inspect.unwrap(obj) if callable(obj) else obj
-        code = getattr(func, "__code__", None)
-        if isinstance(obj, types.CodeType):
-            code = obj
-        if code is None or id(code) in seen or depth > max_depth:
-            continue
-        seen.add(id(code))
-        yield code
-        for const in code.co_consts:
-            if isinstance(const, types.CodeType):
-                frontier.append((const, depth + 1))
-        closure = getattr(func, "__closure__", None) or ()
-        globals_ns = getattr(func, "__globals__", {})
-        for cell in closure:
-            try:
-                value = cell.cell_contents
-            except ValueError:  # pragma: no cover - empty cell
-                continue
-            if callable(value):
-                frontier.append((value, depth + 1))
-        for name in code.co_names:
-            value = globals_ns.get(name)
-            if isinstance(value, types.FunctionType):
-                frontier.append((value, depth + 1))
 
 
 def _references_convey_caboose(fn: Optional[Callable[..., Any]]) -> bool:
@@ -397,121 +419,6 @@ def _check_bounded_chains(prog: "FGProgram",
                         program=prog.name, pipeline=p.name, stage=s.name)
 
 
-#: method names whose call on a shared container is treated as mutation.
-#: Deliberately omits ambiguous names (``sort``, ``write``, ``reverse``)
-#: that are common as *pure* methods on schema/file objects.
-_MUTATING_METHODS = frozenset({
-    "append", "extend", "insert", "add", "update", "pop", "popitem",
-    "setdefault", "remove", "discard", "clear",
-})
-
-#: opcodes that pass the provenance of the value under construction
-#: through unchanged (subscripts, arithmetic, stack shuffling).
-_TRANSPARENT_OPS = frozenset({
-    "LOAD_CONST", "BINARY_SUBSCR", "BINARY_SLICE", "BINARY_OP",
-    "UNARY_NEGATIVE", "UNARY_NOT", "UNARY_INVERT",
-    "COPY", "SWAP", "DUP_TOP", "DUP_TOP_TWO",
-    "ROT_TWO", "ROT_THREE", "ROT_FOUR", "CACHE", "EXTENDED_ARG",
-})
-
-#: values of these types cannot hold cross-replica mutable state (for
-#: the method-call branch; *rebinding* them is still flagged).
-_IMMUTABLE_TYPES = (type(None), bool, int, float, complex, str, bytes,
-                    tuple, frozenset, types.FunctionType,
-                    types.BuiltinFunctionType, types.ModuleType, type)
-
-_UNKNOWN = object()
-
-
-def _closure_value(fn: Callable[..., Any], name: str) -> Any:
-    """The object a free variable of ``fn`` is bound to, or _UNKNOWN."""
-    code = getattr(fn, "__code__", None)
-    closure = getattr(fn, "__closure__", None)
-    if code is None or closure is None:
-        return _UNKNOWN
-    try:
-        return closure[code.co_freevars.index(name)].cell_contents
-    except (ValueError, IndexError):
-        return _UNKNOWN
-
-
-def _shared_state_evidence(fn: Callable[..., Any]) -> list[str]:
-    """Evidence strings that ``fn`` mutates state its replicas share.
-
-    A linear bytecode walk tracking coarse provenance of the object under
-    construction: a load from a free variable or a module global marks it
-    *shared*, a load from a local marks it *private*, and subscript /
-    attribute / stack ops preserve the mark.  Mutation evidence is then
-
-    * a mutating method (``append``, ``update``, ...) looked up on a
-      shared object,
-    * ``STORE_SUBSCR`` / ``STORE_ATTR`` whose target is shared,
-    * rebinding a free variable (``STORE_DEREF``) or a global.
-
-    Heuristic by design: it follows only straight-line provenance, so
-    aliasing through locals escapes it — but that is exactly the
-    contract FG109 documents (it catches the idiomatic per-round
-    accumulator, not adversarial code).
-    """
-    globals_ns = getattr(inspect.unwrap(fn), "__globals__", {})
-    evidence: list[str] = []
-
-    def shared_global(name: str) -> bool:
-        value = globals_ns.get(name, getattr(builtins, name, _UNKNOWN))
-        if value is _UNKNOWN:
-            return False
-        return not isinstance(value, _IMMUTABLE_TYPES)
-
-    def shared_free(name: str) -> bool:
-        value = _closure_value(fn, name)
-        if value is _UNKNOWN:
-            return True  # unresolvable cell: assume shared
-        return not isinstance(value, _IMMUTABLE_TYPES)
-
-    for code in _iter_code_objects(fn):
-        base_shared = False
-        base_name = ""
-        for instr in dis.get_instructions(code):
-            op = instr.opname
-            if op in ("LOAD_DEREF", "LOAD_CLASSDEREF"):
-                base_name = str(instr.argval)
-                base_shared = (base_name in code.co_freevars
-                               and shared_free(base_name))
-            elif op == "LOAD_GLOBAL":
-                base_name = str(instr.argval)
-                base_shared = shared_global(base_name)
-            elif op in ("LOAD_METHOD", "LOAD_ATTR"):
-                if base_shared and instr.argval in _MUTATING_METHODS:
-                    evidence.append(
-                        f"calls .{instr.argval}() on shared "
-                        f"{base_name!r}")
-                    base_shared = False
-            elif op == "STORE_SUBSCR":
-                if base_shared:
-                    evidence.append(
-                        f"assigns into shared {base_name!r}")
-                base_shared = False
-            elif op == "STORE_ATTR":
-                if base_shared:
-                    evidence.append(
-                        f"sets .{instr.argval} on shared {base_name!r}")
-                base_shared = False
-            elif op == "STORE_DEREF":
-                if instr.argval in code.co_freevars:
-                    evidence.append(
-                        f"rebinds closure variable {instr.argval!r}")
-                base_shared = False
-            elif op == "STORE_GLOBAL":
-                evidence.append(f"rebinds global {instr.argval!r}")
-                base_shared = False
-            elif op.startswith("LOAD_FAST"):
-                base_shared = False
-                base_name = str(instr.argval)
-            elif op not in _TRANSPARENT_OPS:
-                base_shared = False
-    return evidence
-
-
 def _check_replicated_state(prog: "FGProgram",
                             graph: ProgramGraph) -> Iterator[Finding]:
     for p in graph.pipelines:
@@ -540,6 +447,120 @@ def _check_replicated_state(prog: "FGProgram",
                     program=prog.name, pipeline=p.name, stage=s.name)
 
 
+def _check_effects(prog: "FGProgram",
+                   graph: ProgramGraph) -> Iterator[Finding]:
+    """FG110/FG111/FG113: the effect-analysis rules, sharing one
+    :func:`repro.check.dataflow.program_effects` pass."""
+    effects = _dataflow.program_effects(graph)
+    # FG110: concurrently-runnable stages writing one shared cell.
+    # Program-wide scope: every pipeline of one program runs on the same
+    # kernel at once, so even disjoint pipelines race on a shared cell.
+    seen: set[tuple[frozenset[str], str, str]] = set()
+    for c in effects.all_conflicts:
+        key = (frozenset((c.stage_a, c.stage_b)), str(c.cell), c.kind)
+        if key in seen:
+            continue
+        seen.add(key)
+        where = (f"pipeline {c.pipeline_a!r}"
+                 if c.pipeline_a == c.pipeline_b else
+                 f"pipelines {c.pipeline_a!r} and "
+                 f"{c.pipeline_b!r}")
+        yield Finding(
+            "FG110", Severity.WARNING,
+            f"stages {c.stage_a!r} and {c.stage_b!r} ({where}) both "
+            f"touch shared cell {str(c.cell)!r} ({c.kind}) with no "
+            "ordering between them; a parallel backend makes the "
+            "outcome schedule-dependent",
+            program=prog.name, pipeline=c.pipeline_a, stage=c.stage_a)
+    # FG111: buffer aliases escaping the stage
+    for entry in effects.stages:
+        for escape in entry.effects.buffer_escapes:
+            yield Finding(
+                "FG111", Severity.WARNING,
+                f"stage {entry.name!r} {escape}; the alias outlives "
+                "the convey, so the next owner's writes remain visible "
+                "through it (copy the data instead)",
+                program=prog.name, pipeline=entry.pipeline,
+                stage=entry.name)
+    # FG113: the EOS declarer's shared writes overlap its pipeline peers
+    for p in graph.pipelines:
+        for node in p.stages:
+            if node.stage.fn is None or not _stage_declares_eos(node.stage):
+                continue
+            entry = effects.stage(node.name)
+            if entry is None:
+                continue
+            peers: set[str] = set()
+            for other in p.stages:
+                if other.stage is node.stage:
+                    continue
+                other_entry = effects.stage(other.name)
+                if other_entry is None:
+                    continue
+                for wa in entry.effects.writes:
+                    for cb in (other_entry.effects.writes
+                               | other_entry.effects.reads):
+                        if _dataflow.cells_conflict(
+                                wa, cb, a_writes=True,
+                                b_writes=cb in other_entry.effects.writes):
+                            peers.add(other.name)
+            if peers:
+                yield Finding(
+                    "FG113", Severity.WARNING,
+                    f"stage {node.name!r} declares end-of-stream and "
+                    f"writes shared state also used by "
+                    f"{', '.join(sorted(peers))}; nothing orders those "
+                    "accesses against the caboose at teardown",
+                    program=prog.name, pipeline=p.name, stage=node.name)
+
+
+def _check_fused_purity(prog: "FGProgram",
+                        graph: ProgramGraph) -> Iterator[Finding]:
+    """FG112: a fused stage must compose at most one shared-state
+    writer (the planner's purity guard enforces this; the rule catches
+    hand-built compositions)."""
+    reported: set[int] = set()
+    for p in graph.pipelines:
+        for node in p.stages:
+            s = node.stage
+            if not node.fused_from or s.fn is None or id(s) in reported:
+                continue
+            parts = getattr(s.fn, "_fg_effect_parts", None)
+            if not parts:
+                continue
+            writers = [
+                part for part in parts
+                if _dataflow.classify_fn(part) == _dataflow.WRITE_SHARED]
+            if len(writers) >= 2:
+                reported.add(id(s))
+                yield Finding(
+                    "FG112", Severity.ERROR,
+                    f"fused stage {s.name!r} composes "
+                    f"{len(writers)} write-carrying stage functions "
+                    f"(of {len(parts)} fused); at most one per run is "
+                    "sound — split the run or make the parts pure",
+                    program=prog.name, pipeline=p.name, stage=s.name)
+
+
+def _check_unserializable(prog: "FGProgram",
+                          graph: ProgramGraph) -> Iterator[Finding]:
+    """FG114: direct captures that cannot cross a process boundary."""
+    reported: set[int] = set()
+    for p in graph.pipelines:
+        for node in p.stages:
+            s = node.stage
+            if s.fn is None or id(s) in reported:
+                continue
+            reported.add(id(s))
+            captured = _dataflow.unserializable_captures(s.fn)
+            if captured:
+                yield Finding(
+                    "FG114", Severity.WARNING,
+                    f"stage {s.name!r} cannot cross a process "
+                    f"boundary: {'; '.join(captured)}",
+                    program=prog.name, pipeline=p.name, stage=s.name)
+
+
 _CHECKS = (
     _check_pool_depth,
     _check_stage_order_cycle,
@@ -549,6 +570,9 @@ _CHECKS = (
     _check_failure_hook,
     _check_bounded_chains,
     _check_replicated_state,
+    _check_effects,
+    _check_fused_purity,
+    _check_unserializable,
 )
 
 
@@ -565,4 +589,8 @@ def lint_program(prog: "FGProgram",
     for check in _CHECKS:
         report.extend(f for f in check(prog, graph)
                       if f.rule_id not in suppressed)
+    if EFFECTS is not None:
+        EFFECTS.append((prog.name, [
+            (p.name, node.name, node.parallel_safety or "unknown")
+            for p in graph.pipelines for node in p.stages]))
     return report

@@ -20,7 +20,23 @@ from repro.check import linter
 from repro.check.findings import Finding, LintReport
 from repro.errors import LintError
 
-__all__ = ["lint_paths"]
+__all__ = ["lint_paths", "rules_table"]
+
+#: per-stage effect entry: (program, pipeline, stage, classification)
+StageEffect = tuple[str, str, str, str]
+
+
+def rules_table() -> list[str]:
+    """One aligned line per rule: ID, severity, name, summary."""
+    rules = list(linter.RULES.values())
+    id_w = max(len(r.rule_id) for r in rules)
+    sev_w = max(len(r.severity.value) for r in rules)
+    title_w = max(len(r.title) for r in rules)
+    return [
+        f"{r.rule_id:<{id_w}}  {r.severity.value:<{sev_w}}  "
+        f"{r.title:<{title_w}}  {r.summary}"
+        for r in rules
+    ]
 
 
 def _find_lint_error(exc: BaseException) -> Optional[LintError]:
@@ -46,13 +62,18 @@ def _find_lint_error(exc: BaseException) -> Optional[LintError]:
     return None
 
 
-def _run_one(path: str) -> tuple[list[Finding], Optional[BaseException]]:
+def _run_one(path: str, *, effects: bool = False) -> tuple[
+        list[Finding], list[StageEffect], Optional[BaseException]]:
     """Execute ``path`` with the collector armed; return (findings,
-    non-lint crash)."""
+    per-stage effects, non-lint crash)."""
     collected: list[tuple[str, list[Finding]]] = []
+    effect_rows: list[tuple[str, list[tuple[str, str, str]]]] = []
     previous = linter.COLLECTOR
+    previous_effects = linter.EFFECTS
     previous_argv = sys.argv
     linter.COLLECTOR = collected
+    if effects:
+        linter.EFFECTS = effect_rows
     # the file runs as __main__ and may parse sys.argv; hand it a clean
     # one so the repro CLI's own arguments don't leak into it
     sys.argv = [path]
@@ -67,26 +88,36 @@ def _run_one(path: str) -> tuple[list[Finding], Optional[BaseException]]:
             crash = exc
     finally:
         linter.COLLECTOR = previous
+        linter.EFFECTS = previous_effects
         sys.argv = previous_argv
     findings = [f for _, report in collected for f in report]
-    return findings, crash
+    stage_effects = [(prog, pipeline, stage, safety)
+                     for prog, rows in effect_rows
+                     for pipeline, stage, safety in rows]
+    return findings, stage_effects, crash
 
 
 def lint_paths(paths: Sequence[str], *, as_json: bool = False,
-               strict: bool = False,
+               strict: bool = False, effects: bool = False,
                out: Callable[[str], None] = print) -> int:
-    """Lint every program assembled by each file in ``paths``."""
+    """Lint every program assembled by each file in ``paths``.
+
+    With ``effects`` the per-stage parallel-safety verdicts (``pure`` /
+    ``read_shared`` / ``write_shared``) are reported alongside findings.
+    """
     per_file: dict[str, list[Finding]] = {}
+    per_file_effects: dict[str, list[StageEffect]] = {}
     crashes: dict[str, str] = {}
     for path in paths:
-        findings, crash = _run_one(path)
+        findings, stage_effects, crash = _run_one(path, effects=effects)
         per_file[path] = findings
+        per_file_effects[path] = stage_effects
         if crash is not None:
             crashes[path] = repr(crash)
     all_findings = [f for findings in per_file.values() for f in findings]
     report = LintReport(all_findings)
     if as_json:
-        out(json.dumps({
+        payload: dict[str, object] = {
             "files": {
                 path: [f.to_dict() for f in findings]
                 for path, findings in per_file.items()
@@ -94,7 +125,15 @@ def lint_paths(paths: Sequence[str], *, as_json: bool = False,
             "crashes": crashes,
             "errors": len(report.errors),
             "warnings": len(report.warnings),
-        }, indent=2))
+        }
+        if effects:
+            payload["effects"] = {
+                path: [{"program": prog, "pipeline": pipeline,
+                        "stage": stage, "parallel_safety": safety}
+                       for prog, pipeline, stage, safety in rows]
+                for path, rows in per_file_effects.items()
+            }
+        out(json.dumps(payload, indent=2))
     else:
         for path, findings in per_file.items():
             status = ("crashed" if path in crashes
@@ -103,6 +142,8 @@ def lint_paths(paths: Sequence[str], *, as_json: bool = False,
             out(f"{path}: {status}")
             for f in findings:
                 out(f"  {f}")
+            for prog, pipeline, stage, safety in per_file_effects[path]:
+                out(f"  {prog}/{pipeline}/{stage}: {safety}")
             if path in crashes:
                 out(f"  non-lint failure: {crashes[path]}")
         out(f"{len(report.errors)} error(s), "

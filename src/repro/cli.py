@@ -138,12 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="statically lint the FG programs assembled by the "
                      "given Python files (executes each file with the "
                      "findings collector armed)")
-    p_lint.add_argument("files", nargs="+", metavar="FILE",
+    p_lint.add_argument("files", nargs="*", metavar="FILE",
                         help="program files to lint (e.g. examples/*.py)")
     p_lint.add_argument("--json", action="store_true",
                         help="emit findings as JSON instead of text")
     p_lint.add_argument("--strict", action="store_true",
                         help="exit nonzero on warnings too")
+    p_lint.add_argument("--effects", action="store_true",
+                        help="also report every stage's inferred "
+                             "parallel-safety class (pure / read_shared "
+                             "/ write_shared)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog (FG101..FG114) and "
+                             "exit")
 
     p_tune = sub.add_parser(
         "tune", help="auto-tune a sorting benchmark: offline search "
@@ -691,9 +698,18 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.check.runner import lint_paths
+    from repro.check.runner import lint_paths, rules_table
 
-    return lint_paths(args.files, as_json=args.json, strict=args.strict)
+    if args.list_rules:
+        for line in rules_table():
+            print(line)
+        return 0
+    if not args.files:
+        print("repro lint: no files given (or use --list-rules)",
+              file=sys.stderr)
+        return 2
+    return lint_paths(args.files, as_json=args.json, strict=args.strict,
+                      effects=args.effects)
 
 
 _COMMANDS = {

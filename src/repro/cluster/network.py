@@ -267,6 +267,11 @@ class Network:
                           self.kernel.now() + self.hardware.net_latency,
                           meta,
                           reserved=self.mailbox_capacity_bytes is not None)
+        race = self.kernel.race
+        if race is not None:
+            # mailbox matching is per (source, tag), not FIFO, so the
+            # clock snapshot rides the message itself
+            race.stamp_message(msg)
         self.messages += 1
         self.mailboxes[dst].deposit(msg)
 
@@ -321,6 +326,9 @@ class Network:
                 self.kernel.sleep(self.hardware.wire_time(msg.nbytes)
                                   * factor)
             self.bytes_received[dst] += msg.nbytes
+        race = self.kernel.race
+        if race is not None:
+            race.join_message(msg)
         return msg
 
     def iprobe(self, dst: int, source: Optional[int] = None,

@@ -91,6 +91,11 @@ class StageContext:
         sanitizer = self.program.sanitizer
         if sanitizer is not None:
             sanitizer.on_accept(self.stage, p, buf)
+        race = self.kernel.race
+        if race is not None and not buf.is_caboose:
+            # the stage fn never runs for the caboose — replaying its
+            # effect set for one would fabricate an end-of-stream race
+            race.on_stage_access(self.stage)
         return buf
 
     def convey(self, buffer: Buffer) -> None:

@@ -56,6 +56,8 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
+from repro.check.linter import normalize_rule_ids
+from repro.check.races import race_from_env
 from repro.check.sanitizer import Sanitizer, sanitize_from_env
 from repro.core.buffer import Buffer
 from repro.core.context import StageContext
@@ -138,7 +140,8 @@ class FGProgram:
                  name: str = "fg", *,
                  lint: Optional[bool] = None,
                  lint_ignore: Optional[Iterable[str]] = None,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 race_detect: Optional[Union[bool, str]] = None) -> None:
         self.kernel = kernel
         self.env: dict[str, Any] = dict(env) if env else {}
         self.name = name
@@ -152,7 +155,9 @@ class FGProgram:
             lint = os.environ.get("REPRO_LINT", "1").lower() not in (
                 "0", "false", "off", "no")
         self._lint_enabled = lint
-        self._lint_ignore = set(lint_ignore) if lint_ignore else set()
+        self._lint_ignore = (normalize_rule_ids(
+            lint_ignore, source="FGProgram(lint_ignore=...)")
+            if lint_ignore else set())
         #: findings of the automatic lint pass (errors raise from start())
         self.lint_findings: list[Any] = []
         # FGSan: opt-in dynamic buffer-ownership sanitizer
@@ -160,6 +165,14 @@ class FGProgram:
             sanitize = sanitize_from_env()
         self.sanitizer: Optional[Sanitizer] = (
             Sanitizer(self) if sanitize else None)
+        # FGRace: opt-in happens-before race detector; True collects and
+        # raises from wait(), "strict" additionally hard-fails on any
+        # dynamic race the static effect analysis did not predict
+        if race_detect is None:
+            race_detect = race_from_env()
+        if race_detect:
+            self.kernel.enable_race_detection(
+                strict=race_detect == "strict")
         #: optional hook fired once per stage failure, from inside the
         #: failing stage's process: ``hook(stage, pipelines, exc)``.  Used
         #: for cross-node compensation (e.g. dsort flushing end markers so
@@ -664,6 +677,9 @@ class FGProgram:
                 self.observer.accepted(stage, wait)
                 if self.sanitizer is not None:
                     self.sanitizer.on_accept(stage, p, buf)
+                race = self.kernel.race
+                if race is not None:
+                    race.on_stage_access(stage)
                 try:
                     out = stage.fn(ctx, buf)
                 except KernelShutdown:
@@ -789,6 +805,9 @@ class FGProgram:
                 self.observer.accepted(stage, wait)
                 if self.sanitizer is not None:
                     self.sanitizer.on_accept(stage, buf.pipeline, buf)
+                race = self.kernel.race
+                if race is not None:
+                    race.on_stage_access(stage)
                 try:
                     out = stage.fn(ctx, buf)
                 except KernelShutdown:
@@ -849,6 +868,14 @@ class FGProgram:
             errors = [f for f in findings if f.is_error]
             if errors:
                 raise LintError(findings)
+        race = getattr(self.kernel, "race", None)
+        if race is not None:
+            # FGRace consumes the *planned* graph (post-fusion), so the
+            # effect sets it replays match the stages actually spawned
+            from repro.check.dataflow import program_effects
+            from repro.plan.ir import ProgramGraph
+            race.register_program(
+                program_effects(ProgramGraph.from_program(self)))
         self._assemble()
         self.observer.program_started()
         procs: list[Process] = []
@@ -908,6 +935,9 @@ class FGProgram:
             # leak check only on clean runs: poisoned pipelines park
             # their buffers through _drain_poisoned instead
             self.sanitizer.check_teardown()
+        race = getattr(self.kernel, "race", None)
+        if race is not None:
+            race.check_teardown()
 
     def _drain_poisoned(self) -> None:
         """Return buffers stranded in poisoned pipelines' queues to their

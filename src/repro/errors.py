@@ -190,6 +190,18 @@ class SanitizerError(FGError):
         self.kind = kind
 
 
+class RaceError(FGError):
+    """FGRace (the happens-before race detector) found shared-state
+    accesses unordered by any convey edge, or — in strict mode — a
+    dynamic race the static effect analysis failed to predict.  Only
+    raised when race detection is enabled
+    (``FGProgram(race_detect=True)`` or ``REPRO_RACE=1``)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
 class StageFailure:
     """One entry of a :class:`PipelineFailed` causal chain (not an
     exception itself: it records *where* a failure happened)."""

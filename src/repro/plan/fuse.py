@@ -45,9 +45,19 @@ linter's EOS scan): ``read``/``write`` mark disk,
 conservative — an unrecognized name costs nothing, and a false *heavy*
 mark only forgoes a fusion, never breaks one.
 
+A run additionally admits **at most one shared-state writer**
+(:func:`repro.check.dataflow.classify_fn` == ``write_shared``): fusing
+two stages that both mutate shared cells would change the order their
+writes interleave with the stages between them.  A second writer starts
+a new run, and lint rule FG112 flags any hand-built composition that
+violates the same invariant.
+
 Fused stages get a composed ``fn`` and a flattened ``fused_from`` tuple
 recording the original names, so fusion is idempotent and the
 provenance fingerprint distinguishes a fused program from its original.
+The composition also carries its constituent functions as
+``_fg_effect_parts``, so the effect analysis classifies a fused stage
+from the union of its parts' effects.
 """
 
 from __future__ import annotations
@@ -74,11 +84,9 @@ _CPU_NAMES = frozenset({"compute", "compute_sort", "compute_copy",
 def resource_classes(fn: Callable[..., Any]) -> FrozenSet[str]:
     """The costed resource classes ``fn``'s code can reach, as a subset
     of ``{"disk", "net", "cpu"}`` (empty = pure cheap transform)."""
-    from repro.check.linter import _iter_code_objects
+    from repro.check.dataflow import reachable_names
 
-    names: set[str] = set()
-    for code in _iter_code_objects(fn):
-        names.update(code.co_names)
+    names = reachable_names(fn)
     classes = set()
     if names & _DISK_NAMES:
         classes.add("disk")
@@ -101,6 +109,14 @@ def _compose(f: Callable[..., Any],
             return None
         return g(ctx, out)
 
+    # effect-analysis stamp: a composition's body only *calls* f and g,
+    # so the bytecode scan would see it as pure; record the constituent
+    # functions (flattened through nested compositions) so
+    # repro.check.dataflow classifies the fused stage from its parts
+    parts: list[Callable[..., Any]] = []
+    for part in (f, g):
+        parts.extend(getattr(part, "_fg_effect_parts", None) or (part,))
+    fused._fg_effect_parts = tuple(parts)  # type: ignore[attr-defined]
     return fused
 
 
@@ -138,11 +154,14 @@ def _runs_of(program: "FGProgram") -> list[tuple[Any, list[Any]]]:
     """``(pipeline, [stages])`` for each maximal fusable run (length >= 2):
     consecutive structurally fusable stages whose combined resource
     signature stays within one class."""
+    from repro.check.dataflow import WRITE_SHARED, classify_fn
+
     shared = _shared_stage_ids(program)
     runs: list[tuple[Any, list[Any]]] = []
     for p in program.pipelines:
         run: list[Any] = []
         classes: FrozenSet[str] = frozenset()
+        writers = 0
 
         def flush(p: Any, run: list[Any]) -> None:
             if len(run) >= 2:
@@ -151,17 +170,23 @@ def _runs_of(program: "FGProgram") -> list[tuple[Any, list[Any]]]:
         for s in p.stages:
             if not _is_structurally_fusable(s, p, shared):
                 flush(p, run)
-                run, classes = [], frozenset()
+                run, classes, writers = [], frozenset(), 0
                 continue
+            writes = classify_fn(s.fn) == WRITE_SHARED
             merged = classes | resource_classes(s.fn)
-            if len(merged) > 1:
-                # s would add a second resource class: fusing it in
-                # would serialize two resources the pipeline overlaps
+            if len(merged) > 1 or (writes and writers >= 1):
+                # s would add a second resource class (fusing would
+                # serialize two resources the pipeline overlaps) or a
+                # second shared-state writer (fusing would change the
+                # write interleaving — the FG112 purity guard)
                 flush(p, run)
-                run, classes = [s], resource_classes(s.fn)
+                run = [s]
+                classes = resource_classes(s.fn)
+                writers = 1 if writes else 0
                 continue
             run.append(s)
             classes = merged
+            writers += 1 if writes else 0
         flush(p, run)
     return runs
 

@@ -59,6 +59,13 @@ class StageNode:
     #: the underlying Stage object — identity for intersection analysis,
     #: ``fn`` for the linter's bytecode rules; never part of canonical()
     stage: Any = dataclasses.field(compare=False, repr=False)
+    #: parallel-safety verdict of the stage function —
+    #: ``"pure"`` / ``"read_shared"`` / ``"write_shared"``
+    #: (:func:`repro.check.dataflow.classify_fn`); None when the stage
+    #: has no function to classify.  Part of canonical(), so the
+    #: provenance fingerprint pins the verdict a parallel backend would
+    #: schedule by.
+    parallel_safety: Optional[str] = None
 
     def canonical(self) -> dict[str, Any]:
         entry: dict[str, Any] = {"name": self.name, "style": self.style}
@@ -68,6 +75,8 @@ class StageNode:
             entry["replicas"] = self.replica_count
         if self.fused_from:
             entry["fused_from"] = list(self.fused_from)
+        if self.parallel_safety is not None:
+            entry["parallel_safety"] = self.parallel_safety
         return entry
 
 
@@ -191,6 +200,11 @@ class ProgramGraph:
         ``repro.core`` at runtime, so the linter, the planner, and the
         fingerprints can all depend on it without import cycles.
         """
+        # lazy on purpose: dataflow lives in repro.check, which imports
+        # this module — the verdict flows IR <- dataflow, rules flow
+        # linter <- IR
+        from repro.check.dataflow import classify_fn
+
         pipelines: list[PipelineIR] = []
         pool_deltas = getattr(program, "pool_deltas", None)
         for p in program.pipelines:
@@ -200,7 +214,9 @@ class ProgramGraph:
                 replicated=p.is_replicated(s),
                 replica_count=p.replica_count(s),
                 fused_from=tuple(getattr(s, "fused_from", ()) or ()),
-                stage=s) for s in p.stages]
+                stage=s,
+                parallel_safety=classify_fn(s.fn, style=s.style))
+                for s in p.stages]
             grown, retired = (0, 0) if pool_deltas is None else pool_deltas(p)
             pipelines.append(PipelineIR(
                 name=p.name, stages=nodes, nbuffers=p.nbuffers,

@@ -104,9 +104,16 @@ class Channel(Generic[T]):
         if self._closed:
             kernel.mutex.release()
             raise ChannelClosed(f"put on closed channel {self.name!r}")
+        race = kernel.race
+        if race is not None:
+            # happens-before edge: deliveries follow put order, so the
+            # detector keeps a FIFO of sender clock snapshots per channel
+            race.on_send(self)
         if self._getq:
             getter = self._getq.popleft()
             self._note_delivered_locked()
+            if race is not None:
+                race.on_handoff(self, getter.pid)
             kernel.make_ready(getter, (_ITEM, item))
             kernel.mutex.release()
             return
@@ -129,9 +136,12 @@ class Channel(Generic[T]):
         """Remove and return the oldest item, blocking while empty."""
         kernel = self.kernel
         kernel.mutex.acquire()
+        race = kernel.race
         if self._buf:
             item = self._buf.popleft()
             self._note_delivered_locked()
+            if race is not None:
+                race.on_receive(self)
             if self._putq:
                 putter, pending = self._putq.popleft()
                 self._buf.append(pending)
@@ -142,6 +152,8 @@ class Channel(Generic[T]):
         if self._putq:  # capacity == 0 rendezvous
             putter, pending = self._putq.popleft()
             self._note_delivered_locked()
+            if race is not None:
+                race.on_receive(self)
             kernel.make_ready(putter, _ITEM)
             kernel.mutex.release()
             return pending
@@ -157,6 +169,9 @@ class Channel(Generic[T]):
         me.waiting_channel = None
         if kind == _CLOSED:
             raise ChannelClosed(f"channel {self.name!r} closed while getting")
+        if race is not None:
+            # the putter handed us its clock snapshot via on_handoff
+            race.on_resume()
         return payload
 
     # -- non-blocking operations ------------------------------------------------
@@ -165,9 +180,12 @@ class Channel(Generic[T]):
         """Return ``(True, item)`` if an item was available, else ``(False, None)``."""
         kernel = self.kernel
         kernel.mutex.acquire()
+        race = kernel.race
         if self._buf:
             item = self._buf.popleft()
             self._note_delivered_locked()
+            if race is not None:
+                race.on_receive(self)
             if self._putq:
                 putter, pending = self._putq.popleft()
                 self._buf.append(pending)
@@ -178,6 +196,8 @@ class Channel(Generic[T]):
         if self._putq:
             putter, pending = self._putq.popleft()
             self._note_delivered_locked()
+            if race is not None:
+                race.on_receive(self)
             kernel.make_ready(putter, _ITEM)
             kernel.mutex.release()
             return True, pending
@@ -191,13 +211,19 @@ class Channel(Generic[T]):
         if self._closed:
             kernel.mutex.release()
             raise ChannelClosed(f"put on closed channel {self.name!r}")
+        race = kernel.race
         if self._getq:
             getter = self._getq.popleft()
             self._note_delivered_locked()
+            if race is not None:
+                race.on_send(self)
+                race.on_handoff(self, getter.pid)
             kernel.make_ready(getter, (_ITEM, item))
             kernel.mutex.release()
             return True
         if self.capacity is None or len(self._buf) < self.capacity:
+            if race is not None:
+                race.on_send(self)
             self._buf.append(item)
             self._note_occupancy_locked()
             kernel.mutex.release()

@@ -119,6 +119,10 @@ class Process:
             kernel.block_current(locked=True, reason=f"join({self.name})")
         else:
             kernel.mutex.release()
+        if kernel.race is not None:
+            # join edge: everything the joined process did happened
+            # before this point — whether it finished or failed
+            kernel.race.on_join(self.pid)
         if self.exception is not None:
             raise ProcessFailed(self.name, self.exception)
         return self.result
@@ -149,6 +153,12 @@ class Kernel:
         #: every FG program that starts on this kernel is compiled by
         #: it (stage fusion + plan stamp) before the lint gate runs.
         self.plan: Optional[Any] = None
+        #: optional happens-before race detector
+        #: (repro.check.races.RaceDetector); when non-None, channels and
+        #: the cluster network thread vector clocks through every
+        #: send/receive and FG programs replay their static effect sets
+        #: against it.  See :meth:`enable_race_detection`.
+        self.race: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
 
@@ -169,6 +179,21 @@ class Kernel:
             self.metrics = MetricsRegistry(self.now)
         return self.metrics
 
+    def enable_race_detection(self, *, strict: bool = False) -> Any:
+        """Attach (or return) an FGRace happens-before detector.
+
+        Like :meth:`enable_metrics`, call before constructing the
+        channels and programs that should participate — they look up
+        :attr:`race` per operation, so earlier objects also join in,
+        but clocks are only complete from attachment onward.
+        """
+        if self.race is None:
+            from repro.check.races import RaceDetector
+            self.race = RaceDetector(self, strict=strict)
+        elif strict:
+            self.race.strict = True
+        return self.race
+
     # -- process management -------------------------------------------------
 
     def spawn(self, target: Callable[..., Any], *args: Any,
@@ -187,6 +212,10 @@ class Kernel:
             self._live += 1
             if self._started:
                 self._start_process_locked(proc)
+        if self.race is not None:
+            # fork edge: the child starts after the spawner's current
+            # point (no-op for root spawns from outside the kernel)
+            self.race.on_spawn(proc.pid)
         if self.metrics is not None:
             self.metrics.counter("kernel.processes_spawned").inc()
         return proc

@@ -264,6 +264,9 @@ class TuneController:
         self.decisions: list[TuneDecision] = []
         self.samples: list[TuneSample] = []
         self._proc = None
+        #: parallel-safety verdicts by id(fn); the effect scan is pure,
+        #: so one verdict per stage function serves every window
+        self._safety_cache: dict[int, str] = {}
 
     def decision_log(self) -> list[dict]:
         """The applied/rejected decisions as JSON-able data.
@@ -345,12 +348,35 @@ class TuneController:
                 return p
         raise ReproError(f"policy named unknown pipeline {name!r}")
 
+    def _replica_unsafe(self, pipeline, stage_name: str) -> bool:
+        """True when the effect analysis classifies the stage function
+        as a shared-state writer: interchangeable copies would race on
+        that state (FG110's dynamic twin), so the controller refuses to
+        scale it no matter what the policy asked for."""
+        from repro.check import dataflow
+
+        stage = next((s for s in pipeline.stages
+                      if s.name == stage_name), None)
+        fn = getattr(stage, "fn", None)
+        if fn is None:
+            return False
+        cached = self._safety_cache.get(id(fn))
+        if cached is None:
+            cached = dataflow.classify_fn(fn)
+            self._safety_cache[id(fn)] = cached
+        return cached == dataflow.WRITE_SHARED
+
     def apply(self, action: TuneAction) -> bool:
         """Apply one action; returns whether it took effect."""
         prog = self.program
         p = self._pipeline_named(action.pipeline)
         if action.kind == "add_replica":
-            applied = prog.add_replica(p, action.stage)
+            if self._replica_unsafe(p, action.stage):
+                applied = False
+                self.kernel.metrics.counter(
+                    "tune.add_replica.unsafe").inc()
+            else:
+                applied = prog.add_replica(p, action.stage)
         elif action.kind == "add_buffers":
             prog.add_buffers(p, action.count)
             applied = True

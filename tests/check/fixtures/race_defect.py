@@ -1,0 +1,45 @@
+"""A seeded shared-counter race (CLI test fixture; CI proves both
+layers flag it).
+
+Two pipelines bump one closure-shared counter dict from their own
+processes with no convey edge between them.  The static layer must flag
+the pair (FG110: both stages write ``state['count']``), and a
+race-detected run must observe the unordered accesses (FGRace raises
+:class:`~repro.errors.RaceError` at teardown).  The inverted CI gate
+runs ``repro lint --strict`` on this file and fails the build if the
+warning *disappears*.
+"""
+
+from repro.core import FGProgram, Stage
+from repro.sim import VirtualTimeKernel
+
+
+def build(kernel, race_detect=None):
+    prog = FGProgram(kernel, name="race-defect-fixture",
+                     race_detect=race_detect)
+    state = {"count": 0}
+
+    def bump_a(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    def bump_b(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    prog.add_pipeline("a", [Stage.map("bump_a", bump_a)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    prog.add_pipeline("b", [Stage.map("bump_b", bump_b)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    return prog
+
+
+def main():
+    kernel = VirtualTimeKernel()
+    prog = build(kernel)
+    kernel.spawn(prog.run, name="main")
+    kernel.run()
+
+
+if __name__ == "__main__":
+    main()

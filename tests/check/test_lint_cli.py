@@ -68,3 +68,52 @@ def test_cli_entry_point_end_to_end():
         capture_output=True, text=True, env=env)
     assert defect.returncode == 1, defect.stdout + defect.stderr
     assert "FG104" in defect.stdout
+
+
+RACE_DEFECT = os.path.join(FIXTURES, "race_defect.py")
+
+
+def test_race_defect_fixture_warns_fg110():
+    code, output = run_lint([RACE_DEFECT])
+    assert code == 0  # FG110 is a warning; only --strict blocks
+    assert "FG110" in output
+
+
+def test_race_defect_fixture_fails_strict():
+    code, output = run_lint([RACE_DEFECT], strict=True)
+    assert code == 1
+    assert "FG110" in output
+
+
+def test_list_rules_prints_the_full_catalog():
+    from repro.check.runner import rules_table
+    lines = rules_table()
+    ids = [line.split()[0] for line in lines]
+    assert ids == [f"FG{n}" for n in range(101, 115)]
+    assert any("cross-stage-write-race" in line for line in lines)
+
+
+def test_cli_list_rules_flag():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src"] + env.get("PYTHONPATH", "").split(os.pathsep))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0
+    assert "FG114" in proc.stdout
+
+
+def test_effects_reports_stage_classifications():
+    code, output = run_lint([CLEAN], effects=True)
+    assert code == 0
+    assert "/fill: pure" in output
+
+
+def test_effects_json_carries_parallel_safety():
+    code, output = run_lint([RACE_DEFECT], as_json=True, effects=True)
+    payload = json.loads(output)
+    rows = payload["effects"][RACE_DEFECT]
+    assert {"program": "race-defect-fixture", "pipeline": "a",
+            "stage": "bump_a",
+            "parallel_safety": "write_shared"} in rows

@@ -38,7 +38,10 @@ def declares(ctx):
 
 
 def test_rule_catalog_is_complete():
-    assert sorted(RULES) == [f"FG10{i}" for i in range(1, 10)]
+    assert sorted(RULES) == [
+        "FG101", "FG102", "FG103", "FG104", "FG105", "FG106", "FG107",
+        "FG108", "FG109", "FG110", "FG111", "FG112", "FG113", "FG114",
+    ]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.severity in (Severity.WARNING, Severity.ERROR)
@@ -494,3 +497,209 @@ def test_fg109_real_sorter_sort_stages_are_clean():
                    n_nodes=2, n_per_node=512, seed=0,
                    tune={"sort_replicas": 2})
     assert run.verified
+
+
+# -- FG110..FG114: the effect-analysis rules --------------------------------
+
+def shared_counter_prog(**kwargs):
+    prog = fresh_prog(**kwargs)
+    state = {"count": 0}
+
+    def bump_a(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    def bump_b(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    prog.add_pipeline("a", [Stage.map("bump_a", bump_a)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    prog.add_pipeline("b", [Stage.map("bump_b", bump_b)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    return prog
+
+
+def test_fg110_flags_cross_pipeline_shared_write():
+    found = findings_for(shared_counter_prog(), "FG110")
+    assert found and found[0].severity == Severity.WARNING
+    assert "state['count']" in found[0].message
+    assert "bump_a" in found[0].message and "bump_b" in found[0].message
+
+
+def test_fg110_respects_lint_ignore():
+    prog = shared_counter_prog(lint_ignore={"FG110"})
+    assert not any(f.rule_id == "FG110" for f in prog.lint())
+
+
+def test_fg110_clean_on_disjoint_state():
+    prog = fresh_prog()
+    mine = {"count": 0}
+    yours = {"count": 0}
+
+    def bump_a(ctx, buf):
+        mine["count"] += 1
+        return buf
+
+    def bump_b(ctx, buf):
+        yours["count"] += 1
+        return buf
+
+    prog.add_pipeline("a", [Stage.map("bump_a", bump_a)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    prog.add_pipeline("b", [Stage.map("bump_b", bump_b)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    assert findings_for(prog, "FG110") == []
+
+
+def test_fg111_flags_escaping_buffer_alias():
+    stash = []
+
+    def keeper(ctx, buf):
+        stash.append(buf)
+        return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("keeper", keeper)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    found = findings_for(prog, "FG111")
+    assert found and found[0].severity == Severity.WARNING
+    assert "alias" in found[0].message
+
+
+def test_fg111_clean_when_the_stage_copies():
+    stash = []
+
+    def copier(ctx, buf):
+        records = buf.view("u1")
+        stash.append(len(records))
+        return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("copier", copier)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    assert findings_for(prog, "FG111") == []
+
+
+def test_fg112_fused_stage_with_two_writers_is_an_error():
+    a_state = {"n": 0}
+    b_state = {"n": 0}
+
+    def wa(ctx, buf):
+        a_state["n"] += 1
+        return buf
+
+    def wb(ctx, buf):
+        b_state["n"] += 1
+        return buf
+
+    def fused(ctx, buf):
+        return wb(ctx, wa(ctx, buf))
+
+    fused._fg_effect_parts = (wa, wb)
+    s = Stage.map("wa+wb", fused)
+    s.fused_from = ("wa", "wb")
+    prog = fresh_prog()
+    prog.add_pipeline("p", [s], nbuffers=2, buffer_bytes=16, rounds=4)
+    found = findings_for(prog, "FG112")
+    assert found and found[0].severity == Severity.ERROR
+    assert "2 write-carrying" in found[0].message
+
+
+def test_fg112_single_writer_composition_is_fine():
+    a_state = {"n": 0}
+
+    def wa(ctx, buf):
+        a_state["n"] += 1
+        return buf
+
+    def pure(ctx, buf):
+        return buf
+
+    def fused(ctx, buf):
+        return pure(ctx, wa(ctx, buf))
+
+    fused._fg_effect_parts = (wa, pure)
+    s = Stage.map("wa+pure", fused)
+    s.fused_from = ("wa", "pure")
+    prog = fresh_prog()
+    prog.add_pipeline("p", [s], nbuffers=2, buffer_bytes=16, rounds=4)
+    assert findings_for(prog, "FG112") == []
+
+
+def test_fg113_flags_eos_declarer_touching_peer_state():
+    prog = fresh_prog()
+    state = {"done": 0}
+
+    def recv(ctx):
+        state["done"] += 1
+        ctx.convey_caboose(ctx.pipelines[0])
+
+    def consume(ctx, buf):
+        if state["done"]:
+            return buf
+        return buf
+
+    prog.add_pipeline("p", [Stage.source_driven("recv", recv),
+                            Stage.map("consume", consume)],
+                      nbuffers=2, buffer_bytes=16, rounds=None)
+    found = findings_for(prog, "FG113")
+    assert found and found[0].stage == "recv"
+    assert "consume" in found[0].message
+
+
+def test_fg113_clean_when_the_declarer_keeps_state_private():
+    prog = fresh_prog()
+    state = {"done": 0}
+
+    def recv(ctx):
+        state["done"] += 1
+        ctx.convey_caboose(ctx.pipelines[0])
+
+    prog.add_pipeline("p", [Stage.source_driven("recv", recv),
+                            Stage.map("consume", ok_map)],
+                      nbuffers=2, buffer_bytes=16, rounds=None)
+    assert findings_for(prog, "FG113") == []
+
+
+def test_fg114_flags_captured_lock():
+    import threading
+    lock = threading.Lock()
+
+    def locked(ctx, buf):
+        with lock:
+            return buf
+
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("locked", locked)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    found = findings_for(prog, "FG114")
+    assert found and "cannot cross a process boundary" in found[0].message
+
+
+# -- suppression-list hygiene ------------------------------------------------
+
+def test_normalize_rule_ids_strips_and_uppercases():
+    from repro.check.linter import normalize_rule_ids
+    assert normalize_rule_ids([" fg104 ", "FG105", ""]) \
+        == {"FG104", "FG105"}
+
+
+def test_normalize_rule_ids_warns_on_unknown_id():
+    from repro.check.linter import normalize_rule_ids
+    with pytest.warns(UserWarning, match="unknown lint rule id 'FG999'"):
+        assert normalize_rule_ids(["fg999"]) == {"FG999"}
+
+
+def test_lint_ignore_parameter_warns_on_unknown_id():
+    with pytest.warns(UserWarning, match="FGProgram\\(lint_ignore=.*FG999"):
+        fresh_prog(lint_ignore={"FG999"})
+
+
+def test_env_ignore_warns_on_unknown_id(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT_IGNORE", "fg104, nope")
+    prog = fresh_prog()
+    prog.add_pipeline("p", [Stage.map("m", ok_map)],
+                      nbuffers=1, buffer_bytes=8, rounds=None)
+    with pytest.warns(UserWarning, match="REPRO_LINT_IGNORE.*'NOPE'"):
+        assert prog.lint() == []

@@ -1,0 +1,224 @@
+"""FGRace: the vector-clock happens-before checker.
+
+Convey edges must order same-pipeline accesses (no false positives);
+unordered cross-pipeline writes must be caught; strict mode must
+distinguish statically predicted races from coverage gaps.
+"""
+
+import pytest
+
+from repro.core import FGProgram, Stage
+from repro.errors import ProcessFailed, RaceError
+from repro.sim import VirtualTimeKernel
+
+from repro.check.races import race_from_env
+
+
+def run_to_failure(kernel):
+    """Run the kernel; return the RaceError it died on, or None."""
+    try:
+        kernel.run()
+    except ProcessFailed as exc:
+        original = exc.original
+        while original is not None and not isinstance(original, RaceError):
+            original = getattr(original, "original",
+                               None) or original.__cause__
+        assert isinstance(original, RaceError), exc
+        return original
+    return None
+
+
+def test_race_from_env_parsing(monkeypatch):
+    for value, expected in [("1", True), ("true", True), ("on", True),
+                            (" yes ", True), ("strict", "strict"),
+                            ("0", False), ("", False), ("off", False)]:
+        monkeypatch.setenv("REPRO_RACE", value)
+        assert race_from_env() == expected
+    monkeypatch.delenv("REPRO_RACE")
+    assert race_from_env() is False
+
+
+def make_updown(kernel, nbuffers, *, lint_ignore=None):
+    prog = FGProgram(kernel, name=f"updown-{nbuffers}", race_detect=True,
+                     lint_ignore=lint_ignore)
+    state = {"count": 0}
+
+    def up(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    def down(ctx, buf):
+        state["count"] -= 1
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("up", up), Stage.map("down", down)],
+                      nbuffers=nbuffers, buffer_bytes=16, rounds=5)
+    return prog, state
+
+
+def test_single_buffer_serializes_two_writers():
+    # with one buffer in the pool, round k+1 of the head stage can only
+    # start after the buffer *recycles* out of the tail stage — the
+    # recycle edge joins the tail's clock, so every access is ordered
+    kernel = VirtualTimeKernel()
+    prog, state = make_updown(kernel, 1, lint_ignore={"FG110"})
+    kernel.spawn(prog.run, name="main")
+    assert run_to_failure(kernel) is None
+    assert state["count"] == 0
+
+
+def test_pipelined_rounds_of_two_writers_race():
+    # with two buffers, `up` round k+1 overlaps `down` round k; both
+    # write the same cell with no edge between them — a true race of
+    # the pipeline-parallel model, caught dynamically (and statically:
+    # FG110 flags the same pair, silenced here so the program runs)
+    kernel = VirtualTimeKernel()
+    prog, _state = make_updown(kernel, 2, lint_ignore={"FG110"})
+    kernel.spawn(prog.run, name="main")
+    err = run_to_failure(kernel)
+    assert err is not None and err.kind == "shared-state-race"
+    assert "'up'" in str(err) and "'down'" in str(err)
+
+
+def test_unordered_cross_pipeline_writes_are_caught():
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="racy", race_detect=True)
+    state = {"count": 0}
+
+    def bump_a(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    def bump_b(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    prog.add_pipeline("a", [Stage.map("bump_a", bump_a)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    prog.add_pipeline("b", [Stage.map("bump_b", bump_b)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    kernel.spawn(prog.run, name="main")
+    err = run_to_failure(kernel)
+    assert err is not None and err.kind == "shared-state-race"
+    assert "state['count']" in str(err)
+    assert "bump_a" in str(err) and "bump_b" in str(err)
+
+
+def test_strict_mode_accepts_predicted_races():
+    # the same defect under strict mode: the static layer predicted the
+    # pair, so the failure is the ordinary teardown report, not the
+    # coverage-gap error
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="racy-strict", race_detect="strict")
+    state = {"count": 0}
+
+    def bump_a(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    def bump_b(ctx, buf):
+        state["count"] += 1
+        return buf
+
+    prog.add_pipeline("a", [Stage.map("bump_a", bump_a)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    prog.add_pipeline("b", [Stage.map("bump_b", bump_b)],
+                      nbuffers=2, buffer_bytes=16, rounds=4)
+    kernel.spawn(prog.run, name="main")
+    err = run_to_failure(kernel)
+    assert err is not None and err.kind == "shared-state-race"
+    assert "not statically predicted" not in str(err)
+
+
+def test_strict_mode_flags_cross_program_coverage_gap():
+    # two *programs* share a counter: each program's static analysis is
+    # blind to the other, so the dynamic race is unpredicted — strict
+    # mode must fail hard with the coverage-gap kind
+    kernel = VirtualTimeKernel()
+    kernel.enable_race_detection(strict=True)
+    state = {"count": 0}
+
+    def make(name):
+        prog = FGProgram(kernel, name=name)
+
+        def bump(ctx, buf):
+            state["count"] += 1
+            return buf
+
+        prog.add_pipeline("p", [Stage.map(f"bump-{name}", bump)],
+                          nbuffers=2, buffer_bytes=16, rounds=4)
+        return prog
+
+    one, two = make("one"), make("two")
+
+    def driver():
+        one.start()
+        two.start()
+        one.wait()
+        two.wait()
+
+    kernel.spawn(driver, name="main")
+    err = run_to_failure(kernel)
+    assert err is not None and err.kind == "unpredicted-race"
+
+
+def test_sequential_programs_are_ordered_by_join_and_spawn_edges():
+    # the pass-restart pattern: a harness runs a program to completion
+    # (or failure), *joins* its processes, then spawns a replacement
+    # that touches the same shared state.  The join edge folds the dead
+    # processes' clocks into the harness and the fork edge seeds the
+    # replacement — so the retry is ordered after the attempt it
+    # replaces and even strict mode must stay silent, although the two
+    # programs' static analyses are blind to each other
+    kernel = VirtualTimeKernel()
+    kernel.enable_race_detection(strict=True)
+    state = {"count": 0}
+
+    def make(name):
+        prog = FGProgram(kernel, name=name)
+
+        def bump(ctx, buf):
+            state["count"] += 1
+            return buf
+
+        prog.add_pipeline("p", [Stage.map(f"bump-{name}", bump)],
+                          nbuffers=2, buffer_bytes=16, rounds=4)
+        return prog
+
+    def driver():
+        make("first").run()
+        make("second").run()
+
+    kernel.spawn(driver, name="main")
+    assert run_to_failure(kernel) is None
+    assert state["count"] == 8
+
+
+def test_replicated_stage_sharing_state_races():
+    # FG109 exists precisely because replicas race on per-round state;
+    # FGRace must observe it dynamically too (lint_ignore silences the
+    # static gate so the program actually runs)
+    kernel = VirtualTimeKernel()
+    prog = FGProgram(kernel, name="replica-race", race_detect=True,
+                     lint_ignore={"FG109", "FG110"})
+    state = {"rounds": 0}
+
+    def work(ctx, buf):
+        state["rounds"] += 1
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("work", work)],
+                      nbuffers=4, buffer_bytes=16, rounds=8,
+                      replicas={"work": 2})
+    kernel.spawn(prog.run, name="main")
+    err = run_to_failure(kernel)
+    assert err is not None and err.kind == "shared-state-race"
+
+
+def test_detector_is_idempotent_and_upgradable():
+    kernel = VirtualTimeKernel()
+    kernel.enable_race_detection()
+    first = kernel.race
+    kernel.enable_race_detection(strict=True)
+    assert kernel.race is first
+    assert kernel.race.strict

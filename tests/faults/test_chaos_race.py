@@ -1,0 +1,76 @@
+"""FGRace under chaos: clean sorters stay clean, the seeded defect dies.
+
+The sanitized + race-detected chaos runs prove the vector-clock layer
+adds no false positives even with faults, retries, and speculative
+backup execution in play.  The seeded shared-counter defect must be
+caught by BOTH layers — statically by FG110 and dynamically by FGRace —
+and these gates are inverted: if either detector goes blind, the test
+fails, not the fixture.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.check import lint_program
+from repro.errors import ProcessFailed, RaceError
+from repro.faults import FaultPlan, run_chaos_csort, run_chaos_dsort
+from repro.recover import RecoverPolicy, SpeculationPolicy
+from repro.sim import VirtualTimeKernel
+
+SEED = 42
+
+
+def load_race_defect():
+    path = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                        "check", "fixtures", "race_defect.py")
+    spec = importlib.util.spec_from_file_location("race_defect", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_chaos_dsort_with_speculation_is_race_free(monkeypatch):
+    monkeypatch.setenv("REPRO_RACE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    recover = RecoverPolicy(
+        checkpoint=False, backup_runs=True,
+        speculation=SpeculationPolicy(interval=0.01, patience=2,
+                                      min_progress=0.02))
+    report = run_chaos_dsort(seed=SEED, records_per_node=864,
+                             block_records=48, recover=recover)
+    assert report.verified
+
+
+def test_chaos_csort_is_race_free(monkeypatch):
+    monkeypatch.setenv("REPRO_RACE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    report = run_chaos_csort(seed=SEED)
+    assert report.verified
+
+
+def test_seeded_defect_is_flagged_statically():
+    # inverted gate: this test FAILS if FG110 stops seeing the defect
+    mod = load_race_defect()
+    prog = mod.build(VirtualTimeKernel())
+    flagged = [f for f in lint_program(prog) if f.rule_id == "FG110"]
+    assert flagged, "FG110 went blind to the seeded race defect"
+    assert any("state['count']" in f.message for f in flagged)
+
+
+def test_seeded_defect_is_caught_dynamically():
+    # inverted gate: this test FAILS if FGRace stops seeing the defect
+    mod = load_race_defect()
+    kernel = VirtualTimeKernel()
+    prog = mod.build(kernel, race_detect=True)
+    kernel.spawn(prog.run, name="main")
+    with pytest.raises(ProcessFailed) as exc_info:
+        kernel.run()
+    original = exc_info.value.original
+    while original is not None and not isinstance(original, RaceError):
+        original = getattr(original, "original",
+                           None) or original.__cause__
+    assert isinstance(original, RaceError), \
+        "FGRace went blind to the seeded race defect"
+    assert original.kind == "shared-state-race"

@@ -144,7 +144,8 @@ def test_canonical_covers_every_structural_axis():
     assert set(p) == {"name", "stages", "nbuffers", "buffer_bytes",
                       "rounds", "aux_buffers", "channel_capacity",
                       "pool_grown", "pool_retired"}
-    assert p["stages"][1] == {"name": "b", "style": "map", "replicas": 2}
+    assert p["stages"][1] == {"name": "b", "style": "map", "replicas": 2,
+                              "parallel_safety": "pure"}
 
 
 def test_fingerprint_is_deterministic_across_constructions():

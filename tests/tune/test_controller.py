@@ -234,3 +234,44 @@ def test_controller_rejects_bad_interval_and_double_start():
     kernel.spawn(driver, name="driver")
     kernel.run()
     assert started and "already started" in started[0]
+
+
+def test_controller_refuses_to_replicate_a_shared_state_writer():
+    # the effect analysis classifies `work` as WRITE_SHARED: adding a
+    # copy would race on state['n'], so apply() must reject the action
+    # regardless of what the policy decided
+    kernel = VirtualTimeKernel()
+    kernel.enable_metrics()
+    prog = FGProgram(kernel, name="unsafe-demo",
+                     lint_ignore={"FG109", "FG110"})
+    state = {"n": 0}
+
+    def work(ctx, buf):
+        state["n"] += 1
+        return buf
+
+    prog.add_pipeline("p", [Stage.map("work", work)],
+                      nbuffers=4, buffer_bytes=8, rounds=4,
+                      replicas={"work": 1})
+    results = []
+
+    def driver():
+        prog.start()
+        controller = TuneController(prog, 0.01)
+        results.append(controller.apply(TuneAction(
+            "add_replica", "p", stage="work", reason="backlog")))
+        results.append(controller)
+        prog.wait()
+
+    kernel.spawn(driver, name="driver")
+    kernel.run()
+    applied, controller = results
+    assert applied is False
+    assert controller.decisions[0].applied is False
+    assert kernel.metrics.counter("tune.add_replica.unsafe").value == 1
+
+
+def test_controller_still_replicates_pure_stages():
+    _, prog, controller = run_demo(controlled=True)
+    assert any(d.action.kind == "add_replica" and d.applied
+               for d in controller.decisions)
