@@ -87,6 +87,9 @@ class GroupByConfig:
     output_file: str = "kv-groups"
     run_prefix: str = "groupby-run"
     cleanup_runs: bool = True
+    #: prefix for FGProgram names; the multi-tenant scheduler sets a
+    #: per-job prefix so concurrent jobs stay distinguishable
+    name_prefix: str = "groupby"
 
     def __post_init__(self):
         for field in ("block_records", "vertical_block_records",
@@ -130,7 +133,7 @@ def run_groupby(node: Node, comm: Comm,
     # -- pass 1: hash-partition + pre-aggregate into sorted runs ------------
 
     prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"groupby-p1@{comm.rank}")
+                      name=f"{config.name_prefix}-p1@{comm.rank}")
 
     def read(ctx, buf):
         start = buf.round * B
@@ -232,7 +235,7 @@ def run_groupby(node: Node, comm: Comm,
     distinct = {"count": 0}
 
     prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"groupby-p2@{comm.rank}")
+                      name=f"{config.name_prefix}-p2@{comm.rank}")
     merge_stage = Stage.source_driven("merge", None)
     verticals = []
     for i, (run_name, n_run) in enumerate(runs):

@@ -9,6 +9,7 @@ Usage::
     python -m repro distributions
     python -m repro analyze --trace-out trace.json
     python -m repro chaos --kill-disk-op 40 --prov-out run.prov.json
+    python -m repro sched --jobs 200 --policy fair --preempt
     python -m repro replay run.prov.json
 
 Every command builds a fresh simulated cluster with the scaled paper
@@ -196,6 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the serialized plan as JSON (load "
                              "with Plan.from_json, or pass to "
                              "run_sort(plan=...))")
+
+    p_sched = sub.add_parser(
+        "sched", help="run a multi-tenant job schedule over one shared "
+                      "cluster: quotas, placement policy, preemption")
+    p_sched.add_argument("--nodes", type=int, default=4)
+    p_sched.add_argument("--jobs", type=int, default=40,
+                         help="synthetic workload size")
+    p_sched.add_argument("--tenants", default="alpha,beta",
+                         help="comma-separated tenant names")
+    p_sched.add_argument("--policy", default="fair",
+                         choices=["fifo", "priority", "fair"])
+    p_sched.add_argument("--kinds", default="blocks",
+                         help="comma-separated job kinds to draw from "
+                              "(blocks, dsort, csort, groupby)")
+    p_sched.add_argument("--mean-interarrival", type=float, default=0.2,
+                         help="mean virtual seconds between arrivals")
+    p_sched.add_argument("--seed", type=int, default=0)
+    p_sched.add_argument("--preempt", action="store_true",
+                         help="enable priority preemption")
+    p_sched.add_argument("--speculation-slots", type=int, default=0,
+                         help="cross-tenant speculation budget")
+    p_sched.add_argument("--trace-in", metavar="PATH",
+                         help="arrival-trace JSON to run instead of a "
+                              "synthetic workload")
+    p_sched.add_argument("--trace-out", metavar="PATH",
+                         help="Chrome-trace JSON output path")
+    p_sched.add_argument("--decisions-out", metavar="PATH",
+                         help="write the decision log as JSON lines")
+    p_sched.add_argument("--prov-out", metavar="PATH",
+                         help="capture a provenance record of the "
+                              "schedule (replayable with `repro replay`)")
 
     p_replay = sub.add_parser(
         "replay", help="re-execute a recorded run byte-exactly and "
@@ -712,6 +744,49 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                       effects=args.effects)
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro.sched import Quota, run_schedule, synthetic_trace
+    from repro.sched.workload import ArrivalTrace
+
+    tenants = [t for t in args.tenants.split(",") if t]
+    if args.trace_in:
+        with open(args.trace_in) as fh:
+            trace = ArrivalTrace.loads(fh.read())
+        tenants = trace.tenants
+    else:
+        trace = synthetic_trace(
+            args.seed, args.jobs, tenants,
+            mean_interarrival=args.mean_interarrival,
+            kinds=tuple(k for k in args.kinds.split(",") if k))
+    report = run_schedule(
+        trace,
+        n_nodes=args.nodes,
+        quotas={t: Quota() for t in tenants},
+        policy=args.policy,
+        seed=args.seed,
+        preempt=args.preempt,
+        speculation_slots=args.speculation_slots,
+        trace_path=args.trace_out,
+        provenance=args.prov_out is not None)
+    print(report.describe())
+    if args.decisions_out:
+        with open(args.decisions_out, "w") as fh:
+            import json as _json
+
+            for entry in report.decisions:
+                fh.write(_json.dumps(entry, sort_keys=True,
+                                     separators=(",", ":")) + "\n")
+        print(f"decision log written to {args.decisions_out}")
+    if args.trace_out:
+        print(f"chrome trace written to {args.trace_out}")
+    if args.prov_out:
+        assert report.provenance is not None
+        report.provenance.save(args.prov_out)
+        print(f"provenance record written to {args.prov_out} "
+              f"(replay with `python -m repro replay {args.prov_out}`)")
+    return 0 if report.failed == 0 else 1
+
+
 _COMMANDS = {
     "sort": _cmd_sort,
     "lint": _cmd_lint,
@@ -724,6 +799,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "tune": _cmd_tune,
     "replay": _cmd_replay,
+    "sched": _cmd_sched,
     "analyze": _cmd_analyze,
     "apps": _cmd_apps,
 }

@@ -22,7 +22,7 @@ from repro.cluster.mpi import Comm
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.storage import Storage
-from repro.errors import ClusterError
+from repro.errors import ConfigError
 from repro.sim.kernel import Kernel, Process
 from repro.sim.virtual import VirtualTimeKernel
 
@@ -53,13 +53,25 @@ class Cluster:
                  fault_plan: Optional["FaultPlan"] = None,
                  retry_policy: Optional["RetryPolicy"] = None):
         if n_nodes < 1:
-            raise ClusterError("cluster needs at least one node")
+            raise ConfigError("cluster needs at least one node")
+        if mailbox_capacity_bytes is not None and mailbox_capacity_bytes <= 0:
+            # validated here, not first at message time: a zero-capacity
+            # mailbox cannot admit any message, which used to surface as
+            # a late all-processes-blocked deadlock instead of an error
+            raise ConfigError(
+                f"mailbox_capacity_bytes must be > 0, got "
+                f"{mailbox_capacity_bytes} (a mailbox that can never "
+                f"admit a message deadlocks every receive)")
         self.hardware = hardware if hardware is not None \
             else HardwareModel.paper_cluster()
         self.kernel = kernel if kernel is not None else VirtualTimeKernel()
         if storages is not None and len(storages) != n_nodes:
-            raise ClusterError(
-                f"need {n_nodes} storages, got {len(storages)}")
+            # one storage partition per node, exactly: a node-count vs.
+            # partition-count mismatch would strand data (or strand a
+            # rank waiting on input that lives on no disk)
+            raise ConfigError(
+                f"cluster has {n_nodes} node(s) but {len(storages)} "
+                f"storage partition(s); pass exactly one storage per node")
         self.injector: Optional["FaultInjector"] = None
         if fault_plan is not None:
             from repro.faults.injector import FaultInjector

@@ -83,6 +83,39 @@ class StorageError(ClusterError):
     """Error in a storage backend (missing block, backend closed, ...)."""
 
 
+class ConfigError(ClusterError):
+    """A cluster or scheduler was constructed with invalid parameters.
+
+    Raised eagerly at construction time (zero/negative mailbox capacity,
+    node-count vs. partition-count mismatches, ...) so a bad config fails
+    with a clear message instead of a late deadlock mid-run.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant scheduler errors
+# ---------------------------------------------------------------------------
+
+
+class SchedError(ReproError):
+    """Base class for multi-tenant scheduler (:mod:`repro.sched`) errors."""
+
+
+class AdmissionError(SchedError):
+    """A job spec can never be admitted (demands exceed its tenant's
+    quota or the cluster's capacity outright), or names an unknown
+    tenant/kind.  Raised at submit time, not queue time."""
+
+
+class JobPreempted(SchedError):
+    """Control-flow signal raised *inside* a job's processes at a
+    cooperative safe point when the scheduler has requested preemption.
+
+    Job wrappers catch it, release the job's node allocation, and
+    re-queue the job; it must never escape to the kernel (a kernel-level
+    process failure aborts every tenant's work)."""
+
+
 # ---------------------------------------------------------------------------
 # Fault injection / robustness errors
 # ---------------------------------------------------------------------------

@@ -26,7 +26,7 @@ from typing import IO, Optional, Sequence, Union
 
 from repro.obs.bottleneck import normalize_reason
 from repro.obs.metrics import MetricsRegistry
-from repro.sim.trace import FAULT, RECOVER, TUNE, Tracer
+from repro.sim.trace import FAULT, RECOVER, SCHED, TUNE, Tracer
 
 __all__ = ["chrome_trace", "write_chrome_trace", "write_metrics_json"]
 
@@ -76,12 +76,13 @@ def chrome_trace(tracer: Tracer,
     # ("faults" / "tune" / "recovery") when it fired outside any traced
     # process
     marker_events = [ev for ev in tracer.events
-                     if ev.kind in (FAULT, TUNE, RECOVER)]
+                     if ev.kind in (FAULT, TUNE, RECOVER, SCHED)]
     if marker_events:
         tid_of = {name: tid for tid, name in enumerate(names)}
         extra_tid: dict[str, int] = {}
         next_tid = len(names)
-        row_of = {FAULT: "faults", TUNE: "tune", RECOVER: "recovery"}
+        row_of = {FAULT: "faults", TUNE: "tune", RECOVER: "recovery",
+                  SCHED: "scheduler"}
         for ev in marker_events:
             tid = tid_of.get(ev.process)
             if tid is None:

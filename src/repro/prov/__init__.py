@@ -45,6 +45,7 @@ from repro.prov.record import (
     metrics_digest,
     output_digest,
     recovery_decision_log,
+    sched_decision_log,
     trace_digest,
     tune_decision_log,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "program_graph",
     "recovery_decision_log",
     "replay",
+    "sched_decision_log",
     "stage_graph_fingerprint",
     "trace_digest",
     "tune_decision_log",

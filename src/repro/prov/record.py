@@ -45,6 +45,7 @@ __all__ = [
     "metrics_digest",
     "output_digest",
     "recovery_decision_log",
+    "sched_decision_log",
     "trace_digest",
     "tune_decision_log",
 ]
@@ -101,6 +102,19 @@ def recovery_decision_log(tracer: Optional["Tracer"]) -> list[dict]:
             for ev in tracer.events if ev.kind == RECOVER]
 
 
+def sched_decision_log(tracer: Optional["Tracer"]) -> list[dict]:
+    """Every multi-tenant scheduler decision the run recorded, from the
+    trace's ``sched`` instants — the zero-per-app-code capture path for
+    :class:`~repro.sched.Scheduler` activity (admission, placement,
+    preemption, speculation grants)."""
+    if tracer is None:
+        return []
+    from repro.sim.trace import SCHED
+
+    return [{"time": ev.time, "process": ev.process, "detail": ev.detail}
+            for ev in tracer.events if ev.kind == SCHED]
+
+
 @dataclasses.dataclass
 class ProvenanceRecord:
     """One run's identity; see the module docstring for field semantics."""
@@ -113,6 +127,9 @@ class ProvenanceRecord:
     #: the recovery manager's decision trail (``recover`` trace instants;
     #: empty for runs without a RecoveryManager)
     recovery_decisions: list = dataclasses.field(default_factory=list)
+    #: the multi-tenant scheduler's decision trail (``sched`` trace
+    #: instants; empty for single-program runs)
+    sched_decisions: list = dataclasses.field(default_factory=list)
     stage_graphs: dict = dataclasses.field(default_factory=dict)
     digests: dict = dataclasses.field(default_factory=dict)
     repro_version: str = ""
@@ -192,6 +209,9 @@ class ProvenanceRecord:
         if self.recovery_decisions:
             lines.append(f"  recovery log     "
                          f"{len(self.recovery_decisions)} decisions")
+        if self.sched_decisions:
+            lines.append(f"  scheduler log    "
+                         f"{len(self.sched_decisions)} decisions")
         lines.append(f"  stage graphs     {len(self.stage_graphs)}")
         for name, value in sorted(self.digests.items()):
             shown = f"{value[:16]}…" if value else "(not captured)"

@@ -30,7 +30,7 @@ from repro.prov.record import ProvenanceRecord
 __all__ = ["ReplayResult", "emit_script", "replay"]
 
 #: record kinds replay knows how to re-execute
-REPLAYABLE_KINDS = ("sort", "chaos_dsort", "chaos_csort")
+REPLAYABLE_KINDS = ("sort", "chaos_dsort", "chaos_csort", "sched")
 
 
 @dataclasses.dataclass
@@ -136,12 +136,29 @@ def _replay_chaos(record: ProvenanceRecord) -> ProvenanceRecord:
     return report.provenance
 
 
+def _replay_sched(record: ProvenanceRecord) -> ProvenanceRecord:
+    from repro.sched import ArrivalTrace, Quota, run_schedule
+
+    a = dict(record.args)
+    report = run_schedule(
+        ArrivalTrace.from_json(a.pop("trace")),
+        quotas={tenant: Quota.from_json(doc)
+                for tenant, doc in a.pop("quotas").items()},
+        provenance=True,
+        **a)
+    if report.provenance is None:
+        raise ReproError("sched replay did not capture provenance")
+    return report.provenance
+
+
 def replay(record: ProvenanceRecord) -> ReplayResult:
     """Re-execute ``record`` and compare every captured digest."""
     if record.kind == "sort":
         fresh = _replay_sort(record)
     elif record.kind in ("chaos_dsort", "chaos_csort"):
         fresh = _replay_chaos(record)
+    elif record.kind == "sched":
+        fresh = _replay_sched(record)
     else:
         raise ReproError(
             f"cannot replay record kind {record.kind!r}; replayable "

@@ -1,0 +1,133 @@
+"""A job's window onto the shared cluster: rank and tag translation.
+
+Every SPMD main in this repo talks to the cluster through a narrow
+surface: ``comm.rank``/``comm.size`` (local identity), the
+:class:`~repro.cluster.mpi.Comm` operations, and its node's disk/cores.
+:class:`SubCluster` re-creates that surface over a *subset* of the
+physical nodes: the job sees contiguous local ranks ``0..k-1``, while
+every message really travels between the allocated physical nodes —
+through the same NICs and bounded mailboxes every other tenant contends
+for.
+
+Isolation comes from two translations in :class:`JobNetwork`:
+
+* **ranks** — local rank ``i`` maps to physical node ``alloc[i]`` on
+  send and back on receive, so wildcard receives still report local
+  sources;
+* **tags** — every tag (user tags ``>= 0`` and the collectives' reserved
+  negative tags ``-8..-1``) shifts into a per-job window
+  ``[tag_base + TAG_PAD - 8, tag_base + TAG_PAD + max_user_tag]``.
+  Jobs get disjoint windows (the scheduler strides ``tag_base`` by
+  1024 per job), so a message can never match another job's receive
+  even while mailbox *capacity* stays shared and contended.
+
+The scheduler allocates nodes exclusively (one job per node at a time),
+so a wildcard-tag receive cannot race another tenant's traffic either.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.mpi import Comm
+from repro.cluster.network import Message, Network
+from repro.errors import SchedError
+from repro.sim.kernel import Process
+
+__all__ = ["JobNetwork", "SubCluster", "TAG_PAD"]
+
+#: shifts the collectives' reserved tags (-8..-1) into the job window,
+#: keeping translated tags strictly positive for any tag_base >= 0
+TAG_PAD = 16
+
+
+class JobNetwork:
+    """Rank- and tag-translating view of the shared physical network.
+
+    Implements exactly the surface :class:`~repro.cluster.mpi.Comm`
+    uses: ``n_nodes``, ``send``, ``recv``, ``iprobe``.
+    """
+
+    def __init__(self, network: Network, alloc: Sequence[int],
+                 tag_base: int):
+        if len(set(alloc)) != len(alloc):
+            raise SchedError(f"allocation has duplicate nodes: {alloc}")
+        for p in alloc:
+            if not 0 <= p < network.n_nodes:
+                raise SchedError(
+                    f"allocated node {p} out of range "
+                    f"[0, {network.n_nodes})")
+        if tag_base < 0:
+            raise SchedError(f"tag_base must be >= 0, got {tag_base}")
+        self.network = network
+        self.alloc = tuple(alloc)
+        self.tag_base = tag_base
+        self.n_nodes = len(self.alloc)
+        self._local = {p: local for local, p in enumerate(self.alloc)}
+
+    def _phys_tag(self, tag: Optional[int]) -> Optional[int]:
+        return None if tag is None else self.tag_base + TAG_PAD + tag
+
+    def send(self, src: int, dst: int, payload: Any, tag: int,
+             nbytes: int, meta: Optional[dict] = None) -> None:
+        self.network.send(self.alloc[src], self.alloc[dst], payload,
+                          self.tag_base + TAG_PAD + tag, nbytes, meta)
+
+    def recv(self, dst: int, source: Optional[int] = None,
+             tag: Optional[int] = None) -> Message:
+        phys_source = None if source is None else self.alloc[source]
+        msg = self.network.recv(self.alloc[dst], phys_source,
+                                self._phys_tag(tag))
+        return dataclasses.replace(
+            msg, src=self._local[msg.src],
+            tag=msg.tag - self.tag_base - TAG_PAD)
+
+    def iprobe(self, dst: int, source: Optional[int] = None,
+               tag: Optional[int] = None) -> bool:
+        phys_source = None if source is None else self.alloc[source]
+        return self.network.iprobe(self.alloc[dst], phys_source,
+                                   self._phys_tag(tag))
+
+
+class SubCluster:
+    """The cluster facade handed to one job: k local ranks over the
+    allocated physical nodes.
+
+    Exposes the attribute surface SPMD drivers and the recovery manager
+    expect from a :class:`~repro.cluster.cluster.Cluster`: ``kernel``,
+    ``n_nodes``, ``nodes``, ``comms``, ``hardware``, ``injector``,
+    ``spawn_spmd``.  ``injector`` is always None — scheduler-level
+    preemption is cooperative, not a fault, and a shared injector's
+    physical-rank crash schedule would misread under local ranks.
+    """
+
+    def __init__(self, cluster: Any, alloc: Sequence[int], tag_base: int):
+        self.cluster = cluster
+        self.kernel = cluster.kernel
+        self.hardware = cluster.hardware
+        self.injector = None
+        self.alloc = tuple(alloc)
+        self.network = JobNetwork(cluster.network, alloc, tag_base)
+        self.nodes = [cluster.nodes[p] for p in self.alloc]
+        self.comms = [Comm(self.network, local)
+                      for local in range(len(self.alloc))]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.alloc)
+
+    def node(self, rank: int) -> Any:
+        return self.nodes[rank]
+
+    def comm(self, rank: int) -> Comm:
+        return self.comms[rank]
+
+    def spawn_spmd(self, main: Callable[..., Any], *args: Any,
+                   name: str = "job") -> list[Process]:
+        """Spawn ``main(node, comm, *args)`` once per local rank."""
+        return [
+            self.kernel.spawn(main, self.nodes[rank], self.comms[rank],
+                              *args, name=f"{name}@{rank}")
+            for rank in range(self.n_nodes)
+        ]

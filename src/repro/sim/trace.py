@@ -39,6 +39,11 @@ TUNE = "tune"
 #: recovery decision (resume from checkpoint / speculate / reassign /
 #: race winner); same rendering rules as FAULT
 RECOVER = "recover"
+#: instantaneous marker recorded by the repro.sched scheduler for every
+#: scheduling decision (submit / admit / place / preempt / finish);
+#: same rendering rules as FAULT — and the substrate of the scheduler's
+#: byte-exact decision log
+SCHED = "sched"
 
 
 @dataclasses.dataclass(frozen=True)

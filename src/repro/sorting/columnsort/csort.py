@@ -71,6 +71,9 @@ class CsortConfig:
     #: copies of the permute passes' sort stage (stateless map; see
     #: repro.tune and docs/TUNING.md)
     sort_replicas: int = 1
+    #: prefix for FGProgram names; the multi-tenant scheduler sets a
+    #: per-job prefix so concurrent jobs stay distinguishable
+    name_prefix: str = "csort"
 
     def __post_init__(self):
         if self.out_block_records < 1:
@@ -374,7 +377,7 @@ def run_csort(node: Node, comm: Comm, schema: RecordSchema,
     t0 = kernel.now()
 
     prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"csort-p1@{comm.rank}")
+                      name=f"{config.name_prefix}-p1@{comm.rank}")
     _build_permute_pass(prog1, node, comm, schema, plan,
                         in_file=config.input_file, in_fragmented=False,
                         out_file=config.temp1_file, routing="transpose",
@@ -385,7 +388,7 @@ def run_csort(node: Node, comm: Comm, schema: RecordSchema,
     t1 = kernel.now()
 
     prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"csort-p2@{comm.rank}")
+                      name=f"{config.name_prefix}-p2@{comm.rank}")
     _build_permute_pass(prog2, node, comm, schema, plan,
                         in_file=config.temp1_file, in_fragmented=True,
                         out_file=config.temp2_file, routing="untranspose",
@@ -396,7 +399,7 @@ def run_csort(node: Node, comm: Comm, schema: RecordSchema,
     t2 = kernel.now()
 
     prog3 = FGProgram(kernel, env={"node": node, "comm": comm},
-                      name=f"csort-p3@{comm.rank}")
+                      name=f"{config.name_prefix}-p3@{comm.rank}")
     _build_pass3(prog3, node, comm, schema, plan,
                  in_file=config.temp2_file, out_file=config.output_file,
                  block_records=config.out_block_records,

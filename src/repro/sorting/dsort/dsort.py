@@ -63,6 +63,10 @@ class DsortConfig:
     #: copies of the pass-1 receive pipeline's sort stage (it is
     #: stateless; see repro.tune and docs/TUNING.md)
     sort_replicas: int = 1
+    #: prefix for FGProgram (and hence process/metric/trace) names;
+    #: the multi-tenant scheduler sets a per-job prefix so concurrent
+    #: jobs on one kernel stay distinguishable in every artifact
+    name_prefix: str = "dsort"
 
     def __post_init__(self):
         for field in ("block_records", "vertical_block_records",
@@ -98,7 +102,9 @@ class DsortReport:
 
 def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
               config: Optional[DsortConfig] = None,
-              recover=None) -> DsortReport:
+              recover=None,
+              sched_point: Optional[Callable[[str], None]] = None
+              ) -> DsortReport:
     """Sort the cluster's ``input`` files into striped ``output`` (SPMD).
 
     With ``recover`` (a :class:`~repro.recover.RecoveryManager` shared
@@ -107,11 +113,18 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
     speculative backup merges, and partition re-assignment after a node
     crash.  Without it the behavior is byte-identical to before
     ``repro.recover`` existed.
+
+    ``sched_point`` (set by the multi-tenant scheduler) is called at the
+    phase boundaries behind a barrier — a cooperative safe point where
+    it may raise :class:`~repro.errors.JobPreempted` on every rank
+    consistently; the pass-1 journals then make the re-run resume from
+    the last durable block instead of restarting.
     """
     if config is None:
         config = DsortConfig()
     if recover is not None:
-        return _run_dsort_recover(node, comm, schema, config, recover)
+        return _run_dsort_recover(node, comm, schema, config, recover,
+                                  sched_point)
     kernel = node.kernel
 
     comm.barrier()
@@ -123,6 +136,8 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
                                  seed=config.seed)
     comm.barrier()
     t1 = kernel.now()
+    if sched_point is not None:
+        sched_point("after-sampling")
 
     # Pass 1: partition + distribute -> sorted runs on every node.
     state: dict = {}
@@ -131,7 +146,7 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
         state.clear()
         suffix = f".r{attempt}" if attempt else ""
         prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
-                          name=f"dsort-p1@{comm.rank}{suffix}")
+                          name=f"{config.name_prefix}-p1@{comm.rank}{suffix}")
         build_pass1(prog1, node, comm, schema, splitters,
                     input_file=config.input_file,
                     run_prefix=config.run_prefix,
@@ -148,6 +163,8 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
                                 run_pass1, reset_pass1)
     comm.barrier()
     t2 = kernel.now()
+    if sched_point is not None:
+        sched_point("after-pass1")
 
     # Pass 2: merge runs, load-balance, stripe the output.
     runs = state.get("runs", [])
@@ -169,7 +186,7 @@ def run_dsort(node: Node, comm: Comm, schema: RecordSchema,
                                    my_records * schema.record_bytes)
         suffix = f".r{attempt}" if attempt else ""
         prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
-                          name=f"dsort-p2@{comm.rank}{suffix}")
+                          name=f"{config.name_prefix}-p2@{comm.rank}{suffix}")
         build_pass2(prog2, node, comm, schema, runs, start_global,
                     output_file=config.output_file,
                     vertical_block_records=config.vertical_block_records,
@@ -269,7 +286,9 @@ def _striped_share(total_records: int, block_records: int, n_nodes: int,
 
 
 def _run_dsort_recover(node: Node, comm: Comm, schema: RecordSchema,
-                       config: DsortConfig, mgr) -> DsortReport:
+                       config: DsortConfig, mgr,
+                       sched_point: Optional[Callable[[str], None]] = None
+                       ) -> DsortReport:
     """dsort under a :class:`~repro.recover.RecoveryManager`.
 
     Same phases as the legacy path, but every collective from the end
@@ -301,6 +320,8 @@ def _run_dsort_recover(node: Node, comm: Comm, schema: RecordSchema,
                                      seed=config.seed)
         comm.barrier()
         t1 = kernel.now()
+        if sched_point is not None:
+            sched_point("after-sampling")
 
         # -- pass 1: checkpointed runs + buddy backups --------------------
         jrn1 = Journal(node.disk, f"{config.run_prefix}.journal")
@@ -345,7 +366,7 @@ def _run_dsort_recover(node: Node, comm: Comm, schema: RecordSchema,
                            {f"p{r}": r for r in range(P)}, schema)
             suffix = f".r{attempt}" if attempt else ""
             prog1 = FGProgram(kernel, env={"node": node, "comm": comm},
-                              name=f"dsort-p1@{rank}{suffix}")
+                              name=f"{config.name_prefix}-p1@{rank}{suffix}")
             build_pass1_recover(
                 prog1, node, comm, schema, splitters,
                 input_file=config.input_file,
@@ -384,6 +405,8 @@ def _run_dsort_recover(node: Node, comm: Comm, schema: RecordSchema,
             payload_fn=lambda: sum(n for _, n in state.get("runs", [])),
             data_tag=TAG_PASS1)
         t2 = kernel.now()
+        if sched_point is not None:
+            sched_point("after-pass1")
 
         # -- pass 2: resumable merge under the current striping -----------
         runs = state.get("runs", [])
@@ -473,7 +496,8 @@ def _run_dsort_recover(node: Node, comm: Comm, schema: RecordSchema,
                            schema, speculative=speculative)
             suffix = f".r{attempt}" if attempt else ""
             prog2 = FGProgram(kernel, env={"node": node, "comm": comm},
-                              name=f"dsort-p2@{rank}.e{epoch}{suffix}")
+                              name=f"{config.name_prefix}-p2@{rank}"
+                                   f".e{epoch}{suffix}")
             build_pass2_recover(
                 prog2, node, comm, schema, manager=mgr,
                 runs=[(name, 0, n) for name, n in runs],

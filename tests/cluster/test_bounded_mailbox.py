@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cluster, HardwareModel
-from repro.errors import CommError, DeadlockError
+from repro.errors import ConfigError, DeadlockError
 from repro.sorting.dsort import DsortConfig, run_dsort
 from repro.sorting.verify import verify_striped_output
 from repro.pdm.records import RecordSchema
@@ -176,5 +176,7 @@ def test_dsort_correct_under_bounded_mailboxes():
 
 
 def test_invalid_capacity_rejected():
-    with pytest.raises(CommError):
+    # validated up front by the Cluster constructor now, with the
+    # deadlock consequence spelled out in the message
+    with pytest.raises(ConfigError, match="mailbox_capacity_bytes"):
         make_cluster(2, capacity=0)

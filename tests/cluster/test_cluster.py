@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cluster, HardwareModel, MemoryStorage
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ConfigError
 
 
 def test_zero_nodes_rejected():
@@ -15,6 +15,24 @@ def test_zero_nodes_rejected():
 def test_storage_count_must_match():
     with pytest.raises(ClusterError):
         Cluster(n_nodes=3, storages=[MemoryStorage()])
+
+
+def test_storage_mismatch_is_config_error_with_counts():
+    with pytest.raises(ConfigError, match="3 node.*1 storage"):
+        Cluster(n_nodes=3, storages=[MemoryStorage()])
+
+
+@pytest.mark.parametrize("capacity", [0, -1, -4096])
+def test_nonpositive_mailbox_capacity_rejected(capacity):
+    # a mailbox that can never admit a message used to surface as a
+    # late all-blocked deadlock; now it is a construction-time error
+    with pytest.raises(ConfigError, match="mailbox_capacity_bytes"):
+        Cluster(n_nodes=2, mailbox_capacity_bytes=capacity)
+
+
+def test_config_error_is_a_cluster_error():
+    # callers catching the broader class must keep working
+    assert issubclass(ConfigError, ClusterError)
 
 
 def test_defaults_are_paper_hardware():
